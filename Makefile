@@ -1,0 +1,34 @@
+# Convenience targets for the DCMESH-precision reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench repro report claims examples clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+repro:
+	$(PYTHON) -m repro.experiments.runner all --output repro_output/
+
+report:
+	$(PYTHON) -m repro.experiments.runner report --output repro_output/
+
+claims:
+	$(PYTHON) -m repro.experiments.runner claims
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf repro_output study_output dcmesh_workdir ops_workdir \
+	       .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+Every paper table/figure has one benchmark module that (a) times the
+regeneration of the artifact via pytest-benchmark and (b) asserts the
+reproduced rows keep the paper's shape, so `pytest benchmarks/
+--benchmark-only` doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dcmesh.simulation import Simulation, SimulationConfig
+
+
+@pytest.fixture(scope="session")
+def bench_sim() -> Simulation:
+    """A small simulation with a converged ground state, shared by the
+    accuracy benchmarks (mirrors the paper's one-binary-many-runs
+    setup)."""
+    cfg = SimulationConfig.small_test(
+        mesh_shape=(10, 10, 10), n_orb=20, n_qd_steps=40, nscf=20
+    )
+    sim = Simulation(cfg)
+    sim.setup()
+    return sim

@@ -1,0 +1,19 @@
+"""Ablation bench: FP32 vs BF16 accumulation in the split GEMM.
+
+DESIGN.md ablation #3 — why oneMKL "accumulate[s] in single
+precision": rounding the partial sums to BF16 makes the error grow
+with the inner dimension, destroying the paper's Section V-B
+size-independence property.
+"""
+
+from repro.core.ablation import accumulation_precision_ablation
+
+
+def test_accumulation_precision(benchmark):
+    rows = benchmark(accumulation_precision_ablation)
+    fp32_acc = [r[1] for r in rows]
+    bf16_acc = [r[2] for r in rows]
+    # FP32 accumulation: flat in k.  BF16 accumulation: grows.
+    assert fp32_acc[-1] <= 2 * fp32_acc[0]
+    assert bf16_acc[-1] > 3 * bf16_acc[0]
+    assert all(b > g for g, b in zip(fp32_acc, bf16_acc))

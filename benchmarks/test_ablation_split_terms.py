@@ -1,0 +1,19 @@
+"""Ablation bench: BF16x{1,2,3} accuracy/performance Pareto.
+
+DESIGN.md ablation #2 — the trade-off Table II/Fig. 1 jointly
+describe: each extra split term costs component products (slower on
+the modelled device) and buys ~8 bits of accuracy.
+"""
+
+from repro.core.ablation import split_terms_pareto
+
+
+def test_split_terms_pareto(benchmark):
+    rows = benchmark(split_terms_pareto)
+    errors = [r[1] for r in rows]
+    times = [r[2] for r in rows]
+    assert errors[0] > errors[1] > errors[2]
+    assert times[0] < times[1] < times[2]
+    # Each term buys roughly two orders of magnitude of accuracy.
+    assert errors[0] / errors[1] > 50
+    assert errors[1] / errors[2] > 5

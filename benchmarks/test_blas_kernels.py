@@ -1,0 +1,83 @@
+"""Bench: software-emulation kernel costs per compute mode.
+
+These time the *emulation* itself (not the modelled device): the
+relative wall costs reflect the component-product structure — BF16x3
+runs six real products per real GEMM, 3M saves one of four — which is
+useful for sizing accuracy studies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas.gemm import cgemm, sgemm
+from repro.blas.modes import ComputeMode
+
+MODES = [
+    ComputeMode.STANDARD,
+    ComputeMode.FLOAT_TO_BF16,
+    ComputeMode.FLOAT_TO_BF16X2,
+    ComputeMode.FLOAT_TO_BF16X3,
+    ComputeMode.FLOAT_TO_TF32,
+    ComputeMode.COMPLEX_3M,
+]
+
+
+@pytest.fixture(scope="module")
+def real_inputs():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((256, 256)).astype(np.float32)
+    b = rng.standard_normal((256, 256)).astype(np.float32)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def complex_inputs():
+    rng = np.random.default_rng(1)
+    a = (rng.standard_normal((192, 192)) + 1j * rng.standard_normal((192, 192))).astype(np.complex64)
+    b = (rng.standard_normal((192, 192)) + 1j * rng.standard_normal((192, 192))).astype(np.complex64)
+    return a, b
+
+
+@pytest.mark.parametrize("mode", MODES, ids=[m.env_value for m in MODES])
+def test_sgemm_mode(benchmark, real_inputs, mode):
+    a, b = real_inputs
+    out = benchmark(sgemm, a, b, mode=mode)
+    assert out.shape == (256, 256)
+    assert np.isfinite(out).all()
+
+
+@pytest.mark.parametrize("mode", MODES, ids=[m.env_value for m in MODES])
+def test_cgemm_mode(benchmark, complex_inputs, mode):
+    a, b = complex_inputs
+    out = benchmark(cgemm, a, b, mode=mode)
+    assert out.shape == (192, 192)
+    assert np.isfinite(out).all()
+
+
+def test_rounding_kernel(benchmark):
+    from repro.blas.rounding import round_fp32_to_bf16
+
+    x = np.random.default_rng(2).standard_normal(2**20).astype(np.float32)
+    out = benchmark(round_fp32_to_bf16, x)
+    assert out.dtype == np.float32
+
+
+def test_qd_step_wall_time(benchmark, bench_sim):
+    """One full LFD QD step of the scaled system (software)."""
+    import numpy as np
+
+    from repro.dcmesh.laser import LaserPulse
+    from repro.dcmesh.nlp import NonlocalPropagator
+    from repro.dcmesh.propagate import LFDPropagator
+
+    sim = bench_sim
+    ground = sim.setup()
+    psi0 = ground.orbitals.psi.astype(np.complex64)
+    h_nl = sim._solver.projectors.subspace_matrix(ground.orbitals.psi)
+    nlp = NonlocalPropagator(psi0, h_nl, sim.config.dt, sim.mesh)
+    prop = LFDPropagator(
+        sim.mesh, ground.v_eff, nlp, sim.config.laser, sim.config.dt
+    )
+    psi = psi0.copy()
+    out = benchmark(prop.step, psi, 0.0)
+    assert out.shape == psi0.shape

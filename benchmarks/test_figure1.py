@@ -1,0 +1,40 @@
+"""Bench: Fig. 1 — deviation from FP32 of nexc/javg/ekin.
+
+The benchmark times one full five-mode accuracy study on the scaled
+system and asserts the paper's qualitative findings: BF16 deviates
+most, the BF16 family forms an accuracy ladder, 3M sits at the FP32
+noise floor, and javg deviations are negligible next to ekin's.
+"""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.core.study import PrecisionStudy
+from repro.dcmesh.simulation import SimulationConfig
+
+
+def _run_study():
+    cfg = SimulationConfig.small_test(
+        mesh_shape=(10, 10, 10), n_orb=20, n_qd_steps=40, nscf=20
+    )
+    return PrecisionStudy(cfg).run()
+
+
+def test_figure1(benchmark):
+    result = benchmark.pedantic(_run_study, rounds=1, iterations=1)
+    dev = {
+        (obs, s.mode): s.max_deviation
+        for obs, series in result.deviations.items()
+        for s in series
+    }
+    # BF16 accuracy ladder on the kinetic energy.
+    assert (
+        dev[("ekin", ComputeMode.FLOAT_TO_BF16)]
+        > dev[("ekin", ComputeMode.FLOAT_TO_BF16X2)]
+        > dev[("ekin", ComputeMode.FLOAT_TO_BF16X3)]
+    )
+    # TF32 better than BF16; 3M at the noise floor.
+    assert dev[("ekin", ComputeMode.FLOAT_TO_TF32)] < dev[("ekin", ComputeMode.FLOAT_TO_BF16)]
+    assert dev[("ekin", ComputeMode.COMPLEX_3M)] < dev[("ekin", ComputeMode.FLOAT_TO_BF16)] / 50
+    # Current density deviations orders below kinetic energy.
+    assert dev[("javg", ComputeMode.FLOAT_TO_BF16)] < dev[("ekin", ComputeMode.FLOAT_TO_BF16)] / 100

@@ -1,0 +1,28 @@
+"""Bench: Fig. 2 — log10 deviation of current density.
+
+Asserts the paper's claim that the modes "track closely with one
+another and do not show any signs of divergence" over the run.
+"""
+
+import numpy as np
+
+from repro.core.study import PrecisionStudy
+from repro.dcmesh.simulation import SimulationConfig
+
+
+def _run_study():
+    cfg = SimulationConfig.small_test(
+        mesh_shape=(10, 10, 10), n_orb=20, n_qd_steps=40, nscf=20
+    )
+    return PrecisionStudy(cfg, observables=("javg",)).run()
+
+
+def test_figure2(benchmark):
+    result = benchmark.pedantic(_run_study, rounds=1, iterations=1)
+    for s in result.deviations["javg"]:
+        logs = s.log10(floor=1e-30)[1:]
+        half = len(logs) // 2
+        trend = float(logs[half:].mean() - logs[:half].mean())
+        # Bounded drift on the log scale: no divergence.
+        assert trend < 3.0, s.mode
+        assert np.isfinite(logs).all()

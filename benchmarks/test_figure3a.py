@@ -1,0 +1,26 @@
+"""Bench: Fig. 3a — 500-QD-step times for both systems, 7 configs.
+
+Paper-vs-measured anchors (135-atom system, 500 QD steps):
+FP64 ~2800 s, FP32 1472 s, BF16 972 s, with the artifact's strict
+ordering BF16 < TF32 < BF16X2 < BF16X3 < COMPLEX_3M < FP32 < FP64;
+the 40-atom system shows almost no spread outside FP64.
+"""
+
+import pytest
+
+from repro.experiments.figure3a import run
+
+
+def test_figure3a(benchmark):
+    out = benchmark(run)
+    rows = {(r[0], r[1]): r[2] for r in out["rows"]}
+    assert rows[("135-atom", "FP32")] == pytest.approx(1472, rel=0.15)
+    assert rows[("135-atom", "FP64")] == pytest.approx(2800, rel=0.15)
+    assert rows[("135-atom", "BF16")] == pytest.approx(972, rel=0.25)
+    order = ["BF16", "TF32", "BF16X2", "BF16X3", "COMPLEX_3M", "FP32", "FP64"]
+    times = [rows[("135-atom", label)] for label in order]
+    assert times == sorted(times)
+    # 40-atom: compute modes within 30% of FP32, FP64 clearly slower.
+    alt = [rows[("40-atom", l)] / rows[("40-atom", "FP32")] for l in order[:5]]
+    assert all(0.7 < x <= 1.0 + 1e-9 for x in alt)
+    assert rows[("40-atom", "FP64")] / rows[("40-atom", "FP32")] > 1.5

@@ -1,0 +1,20 @@
+"""Bench: Fig. 3b — per-call BLAS speedup vs N_orb.
+
+Paper shape: speedups rise with N_orb for every mode; the smallest
+orbital count gives the least improvement; BF16 tops the chart.
+"""
+
+from repro.core.blas_sweep import SWEEP_MODES
+from repro.experiments.figure3b import run
+
+
+def test_figure3b(benchmark):
+    out = benchmark(run)
+    rows = out["rows"]
+    assert [r[0] for r in rows] == [256, 1024, 2048, 4096]
+    for col in range(1, 1 + len(SWEEP_MODES)):
+        series = [r[col] for r in rows]
+        assert series == sorted(series), f"column {col} not monotone"
+    # BF16 (column 1) dominates every row.
+    for r in rows:
+        assert r[1] == max(r[1:])

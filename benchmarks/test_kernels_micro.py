@@ -1,0 +1,84 @@
+"""Micro-benchmarks: the substrate kernels a performance regression
+would hide in.
+
+Not paper artifacts — these pin the wall-time of the hot inner pieces
+(mesh FFT, Löwdin orthonormalisation, one SCF descent sweep, projector
+build, nonlocal correction) so a slowdown in any layer is visible in
+the benchmark history.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.material import build_pto_supercell
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.nlp import NonlocalPropagator
+from repro.dcmesh.projectors import build_projectors
+from repro.dcmesh.wavefunction import OrbitalSet
+
+
+@pytest.fixture(scope="module")
+def system():
+    material = build_pto_supercell((1, 1, 1), lattice=6.5)
+    mesh = Mesh((16, 16, 16), material.box)
+    orb = OrbitalSet.random(mesh, 32, 16, seed=0)
+    return material, mesh, orb
+
+
+def test_mesh_fft_roundtrip(benchmark, system):
+    _, mesh, orb = system
+    psi = orb.psi.astype(np.complex64)
+
+    def roundtrip():
+        return mesh.ifft(mesh.fft(psi))
+
+    out = benchmark(roundtrip)
+    assert out.shape == psi.shape
+
+
+def test_lowdin_orthonormalise(benchmark, system):
+    _, mesh, orb = system
+    rng = np.random.default_rng(1)
+    noisy = orb.psi + 0.01 * (
+        rng.standard_normal(orb.psi.shape) + 1j * rng.standard_normal(orb.psi.shape)
+    )
+
+    def ortho():
+        work = OrbitalSet(noisy.copy(), orb.occupations.copy(), mesh)
+        work.orthonormalize()
+        return work
+
+    out = benchmark(ortho)
+    np.testing.assert_allclose(out.overlap(), np.eye(orb.n_orb), atol=1e-10)
+
+
+def test_projector_build(benchmark, system):
+    material, mesh, _ = system
+    proj = benchmark(build_projectors, material, mesh)
+    assert proj.n_proj == material.n_atoms
+
+
+def test_nlp_correction(benchmark, system):
+    _, mesh, orb = system
+    rng = np.random.default_rng(2)
+    h_nl = rng.standard_normal((orb.n_orb, orb.n_orb)) * 0.1
+    h_nl = 0.5 * (h_nl + h_nl.T)
+    psi32 = orb.psi.astype(np.complex64)
+    nlp = NonlocalPropagator(psi32, h_nl, dt=0.02, mesh=mesh)
+    out = benchmark(nlp.apply, psi32)
+    assert out.shape == psi32.shape
+
+
+def test_density_accumulation(benchmark, system):
+    _, mesh, orb = system
+    n = benchmark(orb.density)
+    assert n.shape == (mesh.n_grid,)
+    assert float(n.sum() * mesh.dv) == pytest.approx(orb.n_electrons)
+
+
+def test_ionic_potential_build(benchmark, system):
+    from repro.dcmesh.hamiltonian import ionic_potential
+
+    material, mesh, _ = system
+    v = benchmark(ionic_potential, material, mesh)
+    assert v.shape == (mesh.n_grid,)

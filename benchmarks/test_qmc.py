@@ -1,0 +1,31 @@
+"""Bench: the QMC portability workload.
+
+Times the GEMM-dominated projection loop and asserts the study's
+transferred conclusions (accuracy ladder + exactness of the target).
+"""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.qmc import ProjectionQMC, qmc_mode_study, tight_binding_hamiltonian
+
+
+def test_qmc_projection_loop(benchmark):
+    h = tight_binding_hamiltonian((6, 6, 6), disorder=0.5, seed=0)
+    qmc = ProjectionQMC(h, n_particles=16, tau=0.05)
+    res = benchmark.pedantic(
+        qmc.run, kwargs=dict(n_steps=100, mode="FLOAT_TO_BF16"),
+        rounds=1, iterations=1,
+    )
+    assert res.mode is ComputeMode.FLOAT_TO_BF16
+    assert res.error < 1.0
+
+
+def test_qmc_mode_study(benchmark):
+    rows = benchmark.pedantic(
+        qmc_mode_study, kwargs=dict(n_steps=200, seed=0), rounds=1, iterations=1
+    )
+    dev = {r.mode: r.deviation_from_fp32 for r in rows}
+    assert (dev[ComputeMode.FLOAT_TO_BF16]
+            > dev[ComputeMode.FLOAT_TO_TF32]
+            > dev[ComputeMode.FLOAT_TO_BF16X3])

@@ -1,0 +1,8 @@
+"""Bench: Table I — theoretical peak table generation."""
+
+from repro.experiments.table1 import PAPER_ROWS, run
+
+
+def test_table1(benchmark):
+    out = benchmark(run)
+    assert out["rows"] == PAPER_ROWS

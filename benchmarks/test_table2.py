@@ -1,0 +1,12 @@
+"""Bench: Table II — compute-mode table generation."""
+
+import pytest
+
+from repro.experiments.table2 import PAPER_ROWS, run
+
+
+def test_table2(benchmark):
+    out = benchmark(run)
+    ours = {r[0]: r[2] for r in out["rows"]}
+    for name, expected in PAPER_ROWS:
+        assert ours[name] == pytest.approx(expected, rel=0.02), name

@@ -1,0 +1,9 @@
+"""Bench: Table III — simulation-parameter table generation."""
+
+from repro.experiments.table3 import PAPER_ROWS, run
+
+
+def test_table3(benchmark):
+    out = benchmark(run)
+    assert out["rows"] == PAPER_ROWS
+    assert out["derived_from_config"] == PAPER_ROWS

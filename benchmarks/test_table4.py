@@ -1,0 +1,8 @@
+"""Bench: Table IV — precision-format table generation."""
+
+from repro.experiments.table4 import PAPER_ROWS, run
+
+
+def test_table4(benchmark):
+    out = benchmark(run)
+    assert out["rows"] == PAPER_ROWS

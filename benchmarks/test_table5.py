@@ -1,0 +1,12 @@
+"""Bench: Table V — system sizes and the 64 GB capacity boundary."""
+
+from repro.experiments.table5 import PAPER_ROWS, run
+
+
+def test_table5(benchmark):
+    out = benchmark(run)
+    rows = out["rows"]
+    # The paper's two systems, regenerated from the material builder.
+    assert [(r[0], r[1], r[2]) for r in rows[:2]] == PAPER_ROWS
+    # Capacity claim: both fit, the next size up does not.
+    assert rows[0][4] and rows[1][4] and not rows[2][4]

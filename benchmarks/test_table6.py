@@ -1,0 +1,26 @@
+"""Bench: Table VI — max observed vs theoretical BLAS speedup.
+
+Checks the paper's headline anchor (BF16 ~3.91x observed vs 16x
+theoretical) and the strict mode ordering.
+"""
+
+import pytest
+
+from repro.experiments.table6 import run
+
+
+def test_table6(benchmark):
+    out = benchmark(run)
+    rows = {r[0]: (r[1], r[2]) for r in out["rows"]}
+    obs, theo = rows["FLOAT_TO_BF16"]
+    assert obs == pytest.approx(3.91, rel=0.1)
+    assert theo == pytest.approx(16.0, rel=0.02)
+    observed = {k: v[0] for k, v in rows.items()}
+    assert (
+        observed["FLOAT_TO_BF16"]
+        > observed["FLOAT_TO_TF32"]
+        > observed["FLOAT_TO_BF16X2"]
+        > observed["FLOAT_TO_BF16X3"]
+        > observed["COMPLEX_3M"]
+        > 1.0
+    )

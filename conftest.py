@@ -1,0 +1,15 @@
+"""Repo-root pytest bootstrap.
+
+Makes the test and benchmark suites runnable even when the package has
+not been installed (e.g. offline environments where ``pip install -e``
+cannot build its isolated PEP 517 environment): if ``repro`` is not
+importable, fall back to the in-tree ``src/`` layout.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).parent / "src"))

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Performance projection: Fig. 3a/3b for arbitrary system sizes.
+
+Uses the calibrated Max 1550 device model to answer the scaling
+question behind the paper's Fig. 3: at what problem size do the
+alternative compute modes start paying off, and by how much?
+
+Run:  python examples/performance_projection.py
+"""
+
+import numpy as np
+
+from repro.blas.modes import ComputeMode
+from repro.core.blas_sweep import BlasSweep
+from repro.core.perfstudy import PerfStudy
+from repro.core.report import render_table
+from repro.profiling.unitrace import unitrace_report
+from repro.gpu import Device
+from repro.types import Precision
+
+
+def fig3a_projection() -> None:
+    study = PerfStudy()
+    systems = {
+        "40-atom (64^3, 256 orb)": (64**3, 256, 128),
+        "135-atom (96^3, 1024 orb)": (96**3, 1024, 432),
+        "hypothetical 320-atom (128^3, 2048 orb)": (128**3, 2048, 1024),
+    }
+    fig = study.figure_3a(systems=systems)
+    rows = []
+    for system, timings in fig.items():
+        speedups = study.speedup_over_fp32(timings)
+        for t in timings:
+            rows.append((system, t.label, t.block_seconds(500),
+                         speedups[t.label], t.blas_fraction))
+    print(render_table(
+        ("System", "Config", "500 QD steps (s)", "vs FP32", "BLAS frac"),
+        rows,
+        title="Fig. 3a projection (modelled single Max 1550 stack)",
+    ))
+
+
+def fig3b_projection() -> None:
+    sweep = BlasSweep()
+    norbs = (256, 512, 1024, 2048, 4096, 8192)
+    points = sweep.sweep(norbs=norbs)
+    by_norb = {}
+    for p in points:
+        by_norb.setdefault(p.n_orb, {})[p.mode.env_value] = p.speedup
+    modes = [m.env_value for m in
+             (ComputeMode.FLOAT_TO_BF16, ComputeMode.FLOAT_TO_TF32,
+              ComputeMode.FLOAT_TO_BF16X2, ComputeMode.FLOAT_TO_BF16X3,
+              ComputeMode.COMPLEX_3M)]
+    rows = [(n, *[by_norb[n][m] for m in modes]) for n in norbs]
+    print()
+    print(render_table(("N_orb", *modes), rows,
+                       title="Fig. 3b projection, extended to N_orb = 8192"))
+
+
+def unitrace_view() -> None:
+    """Where does one modelled 135-atom QD step spend its time?"""
+    from repro.core.schedule import psi_bytes, qd_step_schedule
+
+    device = Device()
+    gemms, streams = qd_step_schedule(96**3, 1024, 432, Precision.FP32)
+    for g in gemms:
+        device.record_gemm(g.routine, g.m, g.n, g.k, ComputeMode.STANDARD, site=g.site)
+    buf = psi_bytes(96**3, 1024, Precision.FP32)
+    for s in streams:
+        device.record_stream(s.name, s.passes * buf, buffer_bytes=buf, site=s.site)
+    print()
+    print("unitrace view of one modelled 135-atom FP32 QD step:")
+    print(unitrace_report(device.timeline).render())
+
+
+def counters_view() -> None:
+    """Hardware-counter-style utilisation of the modelled step."""
+    from repro.blas.gemm import use_device
+    from repro.blas.modes import compute_mode
+    from repro.blas.verbose import mkl_verbose
+    from repro.core.schedule import qd_step_schedule
+    from repro.gpu.counters import utilization_table
+
+    device = Device()
+    gemms, _ = qd_step_schedule(96**3, 1024, 432, Precision.FP32)
+    with use_device(device), mkl_verbose() as log, compute_mode("FLOAT_TO_BF16"):
+        # Record the schedule's calls through the booking path only
+        # (shapes matter, data does not): emit one record per call.
+        from repro.blas.modes import ComputeMode
+        from repro.blas.verbose import VerboseRecord, record_call
+
+        for g in gemms:
+            secs = device.record_gemm(
+                g.routine, g.m, g.n, g.k, ComputeMode.FLOAT_TO_BF16, site=g.site
+            )
+            record_call(VerboseRecord(
+                routine=g.routine, trans_a="N", trans_b="N",
+                m=g.m, n=g.n, k=g.k, mode=ComputeMode.FLOAT_TO_BF16,
+                seconds=secs, model_seconds=secs, site=g.site,
+            ))
+        rows = utilization_table(log)
+    print()
+    print(render_table(
+        ("Site", "Routine", "Mode", "Calls", "Seconds", "TFLOP/s", "x FP32 peak"),
+        rows,
+        title="Modelled utilisation of one 135-atom BF16 QD step's BLAS",
+    ))
+
+
+def main() -> None:
+    fig3a_projection()
+    fig3b_projection()
+    unitrace_view()
+    counters_view()
+
+
+if __name__ == "__main__":
+    main()

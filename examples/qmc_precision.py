@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The portability claim: BLAS compute modes on a QMC workload.
+
+The paper's abstract ends with "the approach we demonstrate here could
+be readily applied to other HPC workloads that spend a significant
+amount of time in BLAS calls", and its future work names QMCPACK.
+This example runs the same ``MKL_BLAS_COMPUTE_MODE`` study on the
+bundled projection-QMC workload — a GEMM-dominated imaginary-time
+projector with a *closed-form exact answer* — and shows the DCMESH
+conclusions transfer: the BF16 family's accuracy ladder, TF32 in
+between, and modelled speedups that grow with problem size.
+
+Run:  python examples/qmc_precision.py
+"""
+
+from repro.core.report import render_table
+from repro.qmc import qmc_mode_study, tight_binding_hamiltonian
+
+
+def main() -> None:
+    h = tight_binding_hamiltonian((6, 6, 6), disorder=0.5, seed=0)
+    print(
+        f"Workload: imaginary-time projection QMC on a {h.n_sites}-site "
+        "disordered lattice, 16 particles.\n"
+        "Every propagation step is one sgemm; the environment variable "
+        "is the only thing that changes between rows.\n"
+    )
+    rows = qmc_mode_study(hamiltonian=h, n_particles=16, n_steps=400)
+    table = [
+        (
+            r.mode.env_value,
+            r.final_energy,
+            r.error,
+            r.deviation_from_fp32,
+            r.modelled_speedup,
+        )
+        for r in rows
+    ]
+    print(render_table(
+        ("Mode", "Final energy", "|E - exact|", "|E - FP32|",
+         "Modelled GEMM speedup"),
+        table,
+        title="Compute modes on the QMC workload (exact E from diagonalisation)",
+    ))
+    std = next(r for r in rows if r.mode.env_value == "STANDARD")
+    bf16 = next(r for r in rows if r.mode.env_value == "FLOAT_TO_BF16")
+    print(
+        f"\nBF16 shifts the energy by {bf16.deviation_from_fp32:.1e} — "
+        f"{bf16.deviation_from_fp32 / max(std.error, 1e-30):.0%} of the "
+        "method's own projection error — while the dominant GEMM models "
+        f"{bf16.modelled_speedup:.1f}x faster.  The paper's trade-off, "
+        "on a second application, zero code change."
+    )
+
+
+if __name__ == "__main__":
+    main()

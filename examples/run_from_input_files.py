@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The artifact's exact run recipe, end to end.
+
+Writes the three DCMESH input files (``PTOquick.dc``, ``CONFIG``,
+``lfd.in``) to a work directory, loads them back, runs the simulation
+under two environment configurations — exporting the variables just
+like the artifact appendix — and pipes each run's QD lines to a log
+file for offline analysis.
+
+Run:  python examples/run_from_input_files.py [workdir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.blas.env import paper_run_env, scoped_env
+from repro.blas.modes import ComputeMode
+from repro.dcmesh import Simulation, SimulationConfig
+from repro.dcmesh.io import (
+    load_simulation_config,
+    read_run_log,
+    save_simulation_config,
+    write_run_log,
+)
+
+
+def main(workdir: str = "dcmesh_workdir") -> None:
+    work = Path(workdir)
+
+    # 1. Write the input deck (a scaled-down 40-atom-style system).
+    config = SimulationConfig.small_test(n_qd_steps=60, nscf=30)
+    save_simulation_config(work, config)
+    print(f"Input files written to {work}/: PTOquick.dc, CONFIG, lfd.in")
+
+    # 2. Load them back — this is all a run needs.
+    loaded = load_simulation_config(work)
+    sim = Simulation(loaded)
+    sim.setup()
+
+    # 3. Run per the artifact: export the env vars, execute, pipe to a log.
+    for mode in (ComputeMode.STANDARD, ComputeMode.FLOAT_TO_BF16):
+        env = paper_run_env(mode)
+        exports = " ".join(f"{k}={v}" for k, v in env.items() if v is not None)
+        print(f"\n$ export {exports or '(nothing)'}; dcehd")
+        with scoped_env(env):
+            result = sim.run()
+        log_path = work / f"run_{mode.env_value}.log"
+        write_run_log(log_path, result.records, header=f"mode: {mode.env_value}")
+        print(f"  -> {len(result.records)} QD records piped to {log_path}")
+
+    # 4. Offline analysis from the text logs, like the authors did.
+    ref = read_run_log(work / "run_STANDARD.log")
+    alt = read_run_log(work / "run_FLOAT_TO_BF16.log")
+    ekin_dev = np.abs(
+        np.array([r.ekin for r in alt]) - np.array([r.ekin for r in ref])
+    )
+    nexc_dev = np.abs(
+        np.array([r.nexc for r in alt]) - np.array([r.nexc for r in ref])
+    )
+    print("\nPost-hoc deviation analysis (from the log files):")
+    print(f"  max |ekin dev| = {ekin_dev.max():.3e} Ha")
+    print(f"  max |nexc dev| = {nexc_dev.max():.3e} electrons")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

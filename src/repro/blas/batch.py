@@ -1,0 +1,110 @@
+"""Batched GEMM (the ``cblas_?gemm_batch_strided`` family).
+
+oneMKL's alternative compute modes cover the batched level-3 routines
+with the same semantics as the single-call ones; DCMESH-like codes use
+them for per-atom projector applications and blocked orbital updates.
+This entry point mirrors :func:`repro.blas.gemm.gemm` for stacked
+operands ``(batch, m, k) @ (batch, k, n)`` — identical mode dispatch,
+device-model booking (one launch amortised over the batch) and a
+single MKL_VERBOSE record carrying the batch count.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.blas.complex3m import gemm_3m, gemm_4m
+from repro.blas.gemm import _compute, _current_site, _routine_name, _working_dtype, current_device
+from repro.blas.modes import ComputeMode, resolve_mode
+from repro.blas.verbose import VerboseRecord, record_call, verbose_enabled
+
+__all__ = ["gemm_batch"]
+
+
+def _apply_trans_batched(x: np.ndarray, trans: str) -> np.ndarray:
+    if trans == "N":
+        return x
+    if trans == "T":
+        return np.swapaxes(x, -1, -2)
+    if trans == "C":
+        out = np.swapaxes(x, -1, -2)
+        return out.conj() if np.iscomplexobj(out) else out
+    raise ValueError(f"trans must be 'N', 'T' or 'C', got {trans!r}")
+
+
+def gemm_batch(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    alpha: Union[float, complex] = 1.0,
+    trans_a: str = "N",
+    trans_b: str = "N",
+    mode: Union[str, ComputeMode, None] = None,
+) -> np.ndarray:
+    """Batched matrix multiply: ``out[i] = alpha * op(A[i]) @ op(B[i])``.
+
+    Parameters
+    ----------
+    a, b:
+        3-D stacks with matching leading (batch) dimension.
+    alpha, trans_a, trans_b, mode:
+        As in :func:`repro.blas.gemm.gemm`.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 3 or b.ndim != 3:
+        raise ValueError(
+            f"gemm_batch requires 3-D stacks, got {a.ndim}-D and {b.ndim}-D"
+        )
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(
+            f"batch dimensions differ: {a.shape[0]} vs {b.shape[0]}"
+        )
+    if not np.isfinite(a).all() or not np.isfinite(b).all():
+        raise FloatingPointError("gemm_batch received non-finite input")
+
+    dtype = _working_dtype(a, b)
+    op_a = _apply_trans_batched(a.astype(dtype, copy=False), trans_a)
+    op_b = _apply_trans_batched(b.astype(dtype, copy=False), trans_b)
+    if op_a.shape[-1] != op_b.shape[-2]:
+        raise ValueError(
+            f"inner dimensions differ: op(A) {op_a.shape} @ op(B) {op_b.shape}"
+        )
+    batch, m, k = op_a.shape
+    n = op_b.shape[-1]
+    effective = resolve_mode(mode)
+    routine = _routine_name(dtype)
+
+    t0 = time.perf_counter()
+    out = _compute(op_a, op_b, effective, dtype)
+    wall = time.perf_counter() - t0
+    if alpha != 1.0:
+        out = (alpha * out).astype(dtype, copy=False)
+
+    device = current_device()
+    model_seconds = None
+    if device is not None:
+        model_seconds = device.record_gemm_batch(
+            routine=routine, m=m, n=n, k=k, batch=batch,
+            mode=effective, site=_current_site(),
+        )
+    if verbose_enabled():
+        record_call(
+            VerboseRecord(
+                routine=routine,
+                trans_a=trans_a,
+                trans_b=trans_b,
+                m=m,
+                n=n,
+                k=k,
+                mode=effective,
+                seconds=wall,
+                model_seconds=model_seconds,
+                site=_current_site(),
+                batch=batch,
+            )
+        )
+    return out

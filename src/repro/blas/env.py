@@ -1,0 +1,59 @@
+"""Environment-variable plumbing shared by the BLAS and profiling layers.
+
+The paper's whole methodology is environment-variable driven
+(``MKL_BLAS_COMPUTE_MODE``, ``MKL_VERBOSE``, ``KMP_BLOCKTIME``); this
+module centralises scoped manipulation of those variables so harness
+code can reproduce the artifact's run recipes verbatim.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Dict, Iterator, Optional
+
+from repro.blas.modes import MKL_COMPUTE_MODE_ENV, ComputeMode
+from repro.blas.verbose import MKL_VERBOSE_ENV
+
+__all__ = ["scoped_env", "paper_run_env", "KMP_BLOCKTIME_ENV"]
+
+KMP_BLOCKTIME_ENV = "KMP_BLOCKTIME"
+
+
+@contextlib.contextmanager
+def scoped_env(values: Dict[str, Optional[str]]) -> Iterator[None]:
+    """Temporarily set/unset environment variables.
+
+    ``None`` as a value removes the variable for the scope.  Previous
+    values are restored on exit even if the body raises.
+    """
+    saved = {}
+    try:
+        for key, value in values.items():
+            saved[key] = os.environ.get(key)
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        yield
+    finally:
+        for key, old in saved.items():
+            if old is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = old
+
+
+def paper_run_env(mode: ComputeMode, verbose: bool = False) -> Dict[str, Optional[str]]:
+    """The exact environment the artifact appendix exports per run.
+
+    ``export KMP_BLOCKTIME=0``, optionally ``MKL_VERBOSE=2``, and the
+    compute-mode variable (absent for the FP32/FP64 reference runs).
+    """
+    env: Dict[str, Optional[str]] = {KMP_BLOCKTIME_ENV: "0"}
+    env[MKL_VERBOSE_ENV] = "2" if verbose else None
+    if mode is ComputeMode.STANDARD:
+        env[MKL_COMPUTE_MODE_ENV] = None
+    else:
+        env[MKL_COMPUTE_MODE_ENV] = mode.env_value
+    return env

@@ -1,0 +1,307 @@
+"""GEMM entry points with oneMKL-style compute-mode dispatch.
+
+The public surface mirrors the BLAS level-3 family the paper exercises
+(``sgemm``/``dgemm``/``cgemm``/``zgemm`` plus a dtype-generic
+:func:`gemm`) with NumPy-friendly conventions: ``C = alpha * op(A) @
+op(B) + beta * C``.
+
+Mode semantics (matching oneMKL):
+
+* ``FLOAT_TO_*`` modes affect only *single-precision* routines
+  (``sgemm``/``cgemm``); double-precision calls always run standard,
+  exactly as in MKL (which is why the paper's QXMD FP64 phase is
+  untouched by the environment variable).
+* ``COMPLEX_3M`` affects complex routines at either precision.
+* Everything else runs standard FP32/FP64 ``np.matmul``.
+
+Every call may be timed by the attached device model (see
+:func:`use_device`) and logged through :mod:`repro.blas.verbose`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from repro.blas.complex3m import gemm_3m, gemm_4m
+from repro.blas.modes import ComputeMode, resolve_mode
+from repro.blas.rounding import round_to_precision
+from repro.blas.split import split_gemm_real
+from repro.blas.verbose import VerboseRecord, record_call, verbose_enabled
+
+__all__ = [
+    "gemm",
+    "sgemm",
+    "dgemm",
+    "cgemm",
+    "zgemm",
+    "use_device",
+    "current_device",
+    "call_site",
+]
+
+_TRANS_VALUES = ("N", "T", "C")
+
+_state = threading.local()
+
+
+# ----------------------------------------------------------------------
+# Device-model and call-site hooks.
+# ----------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def use_device(device) -> Iterator[None]:
+    """Attach a :class:`repro.gpu.executor.Device` for the scope.
+
+    While active, every GEMM asks the device to predict its execution
+    time on the modelled hardware and records a kernel event on the
+    device's timeline.  ``device=None`` silences modelling.
+    """
+    prev = getattr(_state, "device", None)
+    _state.device = device
+    try:
+        yield
+    finally:
+        _state.device = prev
+
+
+def current_device():
+    """The device attached by the innermost :func:`use_device`, if any."""
+    return getattr(_state, "device", None)
+
+
+@contextlib.contextmanager
+def call_site(name: str) -> Iterator[None]:
+    """Label GEMMs issued in this scope with an application site name.
+
+    DCMESH uses this to tag calls as ``nlp_prop`` / ``calc_energy`` /
+    ``remap_occ`` so the harness can group per-function timings the
+    way the paper's MKL_VERBOSE analysis does.
+    """
+    prev = getattr(_state, "site", "")
+    _state.site = name
+    try:
+        yield
+    finally:
+        _state.site = prev
+
+
+def _current_site() -> str:
+    return getattr(_state, "site", "")
+
+
+# ----------------------------------------------------------------------
+# Helpers.
+# ----------------------------------------------------------------------
+
+
+def _apply_trans(x: np.ndarray, trans: str) -> np.ndarray:
+    if trans == "N":
+        return x
+    if trans == "T":
+        return x.T
+    if trans == "C":
+        return x.conj().T if np.iscomplexobj(x) else x.T
+    raise ValueError(f"trans must be one of {_TRANS_VALUES}, got {trans!r}")
+
+
+def _routine_name(dtype: np.dtype) -> str:
+    return {
+        np.dtype(np.float32): "sgemm",
+        np.dtype(np.float64): "dgemm",
+        np.dtype(np.complex64): "cgemm",
+        np.dtype(np.complex128): "zgemm",
+    }[dtype]
+
+
+def _working_dtype(a: np.ndarray, b: np.ndarray) -> np.dtype:
+    dt = np.result_type(a.dtype, b.dtype)
+    if dt.kind == "c":
+        return np.dtype(np.complex128) if dt.itemsize > 8 else np.dtype(np.complex64)
+    if dt.kind == "f":
+        return np.dtype(np.float64) if dt.itemsize > 4 else np.dtype(np.float32)
+    # Integer/bool inputs promote to FP64, like calling dgemm.
+    return np.dtype(np.float64)
+
+
+def _low_precision_real_gemm(mode: ComputeMode):
+    precision = mode.component_precision
+    n_terms = mode.n_terms
+
+    def rg(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return split_gemm_real(x, y, precision, n_terms)
+
+    return rg
+
+
+def _compute(a: np.ndarray, b: np.ndarray, mode: ComputeMode, dtype: np.dtype) -> np.ndarray:
+    """Run ``a @ b`` under ``mode`` (inputs already oriented/cast)."""
+    is_complex = dtype.kind == "c"
+    is_single = dtype in (np.dtype(np.float32), np.dtype(np.complex64))
+
+    if mode.is_low_precision and is_single:
+        rg = _low_precision_real_gemm(mode)
+        if is_complex:
+            # MKL composes FLOAT_TO_* with the standard 4M complex
+            # decomposition: each real component GEMM is split.
+            return gemm_4m(a, b, real_gemm=rg)
+        # Real single precision: inputs are rounded/split directly.
+        return rg(np.ascontiguousarray(a, dtype=np.float32),
+                  np.ascontiguousarray(b, dtype=np.float32))
+
+    if mode.uses_3m and is_complex:
+        return gemm_3m(a, b)
+
+    # STANDARD, or a mode that does not apply to this routine
+    # (FLOAT_TO_* on dgemm/zgemm, COMPLEX_3M on real routines).
+    return np.matmul(np.ascontiguousarray(a), np.ascontiguousarray(b)).astype(dtype, copy=False)
+
+
+# ----------------------------------------------------------------------
+# Public entry points.
+# ----------------------------------------------------------------------
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    alpha: Union[float, complex] = 1.0,
+    beta: Union[float, complex] = 0.0,
+    c: Optional[np.ndarray] = None,
+    trans_a: str = "N",
+    trans_b: str = "N",
+    mode: Union[str, ComputeMode, None] = None,
+) -> np.ndarray:
+    """General matrix multiply: ``alpha * op(A) @ op(B) + beta * C``.
+
+    Parameters
+    ----------
+    a, b:
+        2-D arrays.  The effective routine (``sgemm``/``dgemm``/
+        ``cgemm``/``zgemm``) is chosen from the promoted dtype.
+    alpha, beta, c:
+        Standard BLAS scaling; ``c`` is required when ``beta != 0``
+        and is *not* modified in place (a new array is returned).
+    trans_a, trans_b:
+        ``'N'`` (as-is), ``'T'`` (transpose) or ``'C'`` (conjugate
+        transpose).
+    mode:
+        Per-call compute-mode override; defaults to the ambient mode
+        (context manager, :func:`set_compute_mode`, or the
+        ``MKL_BLAS_COMPUTE_MODE`` environment variable).
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``m x n`` result in the promoted storage dtype.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"gemm requires 2-D operands, got {a.ndim}-D and {b.ndim}-D")
+    if trans_a not in _TRANS_VALUES or trans_b not in _TRANS_VALUES:
+        raise ValueError(
+            f"trans flags must be in {_TRANS_VALUES}, got {trans_a!r}, {trans_b!r}"
+        )
+    if not np.isfinite(a).all() or not np.isfinite(b).all():
+        raise FloatingPointError("gemm received non-finite input")
+
+    dtype = _working_dtype(a, b)
+    op_a = _apply_trans(a.astype(dtype, copy=False), trans_a)
+    op_b = _apply_trans(b.astype(dtype, copy=False), trans_b)
+    if op_a.shape[1] != op_b.shape[0]:
+        raise ValueError(
+            f"inner dimensions differ: op(A) is {op_a.shape}, op(B) is {op_b.shape}"
+        )
+    m, k = op_a.shape
+    n = op_b.shape[1]
+
+    # Mode resolution: explicit > site policy > ambient (context /
+    # global / environment).  Site policies are the per-call mixing
+    # the paper's env-var method cannot express (Section IV-D).
+    effective = None
+    if mode is None:
+        from repro.blas.policy import active_policy
+
+        policy = active_policy()
+        if policy is not None:
+            effective = policy.mode_for(_current_site())
+    if effective is None:
+        effective = resolve_mode(mode)
+    routine = _routine_name(dtype)
+
+    t0 = time.perf_counter()
+    out = _compute(op_a, op_b, effective, dtype)
+    wall = time.perf_counter() - t0
+
+    if alpha != 1.0:
+        out = (alpha * out).astype(dtype, copy=False)
+    if beta != 0.0:
+        if c is None:
+            raise ValueError("beta != 0 requires a C matrix")
+        c = np.asarray(c)
+        if c.shape != (m, n):
+            raise ValueError(f"C has shape {c.shape}, expected {(m, n)}")
+        out = (out + beta * c.astype(dtype, copy=False)).astype(dtype, copy=False)
+
+    device = current_device()
+    model_seconds = None
+    if device is not None:
+        model_seconds = device.record_gemm(
+            routine=routine, m=m, n=n, k=k, mode=effective, site=_current_site()
+        )
+    if verbose_enabled():
+        record_call(
+            VerboseRecord(
+                routine=routine,
+                trans_a=trans_a,
+                trans_b=trans_b,
+                m=m,
+                n=n,
+                k=k,
+                mode=effective,
+                seconds=wall,
+                model_seconds=model_seconds,
+                site=_current_site(),
+            )
+        )
+    return out
+
+
+def _typed(dtype):
+    def wrapper(a, b, **kwargs):
+        a = np.asarray(a, dtype=dtype)
+        b = np.asarray(b, dtype=dtype)
+        return gemm(a, b, **kwargs)
+
+    return wrapper
+
+
+def sgemm(a, b, **kwargs):
+    """Single-precision real GEMM (mode-sensitive)."""
+    return _typed(np.float32)(a, b, **kwargs)
+
+
+def dgemm(a, b, **kwargs):
+    """Double-precision real GEMM (always standard arithmetic)."""
+    return _typed(np.float64)(a, b, **kwargs)
+
+
+def cgemm(a, b, **kwargs):
+    """Single-precision complex GEMM — the routine DCMESH's LFD lives in."""
+    return _typed(np.complex64)(a, b, **kwargs)
+
+
+def zgemm(a, b, **kwargs):
+    """Double-precision complex GEMM (only ``COMPLEX_3M`` applies)."""
+    return _typed(np.complex128)(a, b, **kwargs)
+
+
+# Re-export for modules that want to round storage explicitly.
+round_storage = round_to_precision

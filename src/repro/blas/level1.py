@@ -1,0 +1,65 @@
+"""Minimal level-1 BLAS helpers used by the DCMESH substrate.
+
+These are *not* mode-sensitive (oneMKL's alternative compute modes
+apply to level-3 routines only — the paper, Section III-B); they exist
+so the application layer reads like code written against a BLAS and so
+the profiling layer can account for their bandwidth cost.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["axpy", "dotc", "dotu", "nrm2", "scal", "asum"]
+
+Scalar = Union[float, complex]
+
+
+def axpy(alpha: Scalar, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y <- alpha * x + y`` (returns the updated ``y``, in place)."""
+    x = np.asarray(x)
+    if x.shape != y.shape:
+        raise ValueError(f"axpy shape mismatch: {x.shape} vs {y.shape}")
+    y += np.asarray(alpha * x, dtype=y.dtype)
+    return y
+
+
+def dotc(x: np.ndarray, y: np.ndarray) -> Scalar:
+    """Conjugated dot product ``x^H y`` (cdotc/zdotc)."""
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape != y.shape:
+        raise ValueError(f"dotc shape mismatch: {x.shape} vs {y.shape}")
+    return complex(np.vdot(x, y)) if np.iscomplexobj(x) or np.iscomplexobj(y) else float(np.dot(x, y))
+
+
+def dotu(x: np.ndarray, y: np.ndarray) -> Scalar:
+    """Unconjugated dot product ``x^T y`` (cdotu/zdotu)."""
+    x = np.asarray(x).ravel()
+    y = np.asarray(y).ravel()
+    if x.shape != y.shape:
+        raise ValueError(f"dotu shape mismatch: {x.shape} vs {y.shape}")
+    out = np.dot(x, y)
+    return complex(out) if np.iscomplexobj(out) else float(out)
+
+
+def nrm2(x: np.ndarray) -> float:
+    """Euclidean norm, accumulated in FP64 for stability (as LAPACK does)."""
+    x = np.asarray(x).ravel()
+    return float(np.sqrt(np.sum(np.abs(x.astype(np.complex128 if np.iscomplexobj(x) else np.float64)) ** 2)))
+
+
+def scal(alpha: Scalar, x: np.ndarray) -> np.ndarray:
+    """``x <- alpha * x`` in place."""
+    x *= np.asarray(alpha, dtype=x.dtype)
+    return x
+
+
+def asum(x: np.ndarray) -> float:
+    """Sum of absolute values (|real| + |imag| for complex, as BLAS does)."""
+    x = np.asarray(x).ravel()
+    if np.iscomplexobj(x):
+        return float(np.sum(np.abs(x.real)) + np.sum(np.abs(x.imag)))
+    return float(np.sum(np.abs(x)))

@@ -1,0 +1,140 @@
+"""Bit-exact FP32 -> BF16 / TF32 rounding and multi-term splitting.
+
+These are the primitives behind oneMKL's ``FLOAT_TO_BF16{,X2,X3}`` and
+``FLOAT_TO_TF32`` compute modes.  Both target formats share FP32's
+8-bit exponent, so converting is purely a mantissa truncation with
+round-to-nearest-even (RNE), which we perform directly on the IEEE-754
+bit patterns:
+
+* BF16 keeps the top 7 of FP32's 23 mantissa bits (drops 16),
+* TF32 keeps the top 10 (drops 13).
+
+The RNE-on-bits trick: for ``d`` dropped bits, add ``2^(d-1) - 1`` plus
+the guard bit (bit ``d`` of the original), then clear the low ``d``
+bits.  Mantissa overflow carries into the exponent, which is exactly
+IEEE round-up behaviour.  Since the exponent field width is unchanged,
+denormals and the finite range are handled for free; Inf/NaN inputs are
+passed through untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.types import MANTISSA_BITS, Precision
+
+__all__ = [
+    "round_mantissa",
+    "round_fp32_to_bf16",
+    "round_fp32_to_tf32",
+    "round_to_precision",
+    "split_terms",
+    "split_bf16",
+    "split_tf32",
+    "max_relative_error",
+]
+
+_FP32_MANTISSA = 23
+_EXP_MASK = np.uint32(0x7F800000)
+
+
+def round_mantissa(x: np.ndarray, keep_bits: int) -> np.ndarray:
+    """Round FP32 array ``x`` to ``keep_bits`` mantissa bits with RNE.
+
+    Returns a *float32* array whose values are exactly representable in
+    the reduced format (low ``23 - keep_bits`` mantissa bits are zero).
+    The exponent range is unchanged (8 bits), matching BF16 and TF32.
+
+    Parameters
+    ----------
+    x:
+        Array convertible to ``float32``.  Inputs of other float widths
+        are first cast to FP32 (itself an RNE rounding), mirroring what
+        happens when data is handed to an FP32 BLAS call.
+    keep_bits:
+        Number of explicit mantissa bits to retain, in ``[0, 23]``.
+    """
+    if not 0 <= keep_bits <= _FP32_MANTISSA:
+        raise ValueError(f"keep_bits must be in [0, 23], got {keep_bits}")
+    x32 = np.ascontiguousarray(x, dtype=np.float32)
+    if keep_bits == _FP32_MANTISSA:
+        return x32.copy() if x32 is x else x32
+    drop = _FP32_MANTISSA - keep_bits
+    u = x32.view(np.uint32)
+    half = np.uint32((1 << (drop - 1)) - 1)
+    guard = (u >> np.uint32(drop)) & np.uint32(1)
+    rounded = (u + half + guard) & np.uint32(~((1 << drop) - 1) & 0xFFFFFFFF)
+    # Preserve Inf/NaN bit patterns: the add above would corrupt them.
+    special = (u & _EXP_MASK) == _EXP_MASK
+    out = np.where(special, u, rounded)
+    return out.view(np.float32)
+
+
+def round_fp32_to_bf16(x: np.ndarray) -> np.ndarray:
+    """Round to BF16 (7 mantissa bits), result stored in FP32."""
+    return round_mantissa(x, MANTISSA_BITS[Precision.BF16])
+
+
+def round_fp32_to_tf32(x: np.ndarray) -> np.ndarray:
+    """Round to TF32 (10 mantissa bits), result stored in FP32."""
+    return round_mantissa(x, MANTISSA_BITS[Precision.TF32])
+
+
+def round_to_precision(x: np.ndarray, precision: Precision) -> np.ndarray:
+    """Round FP32 data to ``precision``'s grid, keeping an FP32 carrier."""
+    if precision in (Precision.FP32, Precision.FP64):
+        return np.ascontiguousarray(x, dtype=np.float32)
+    if precision is Precision.FP16:
+        # FP16 narrows the exponent too; round-trip through the dtype.
+        # Out-of-range values overflow to inf by design (IEEE behaviour).
+        with np.errstate(over="ignore"):
+            return np.asarray(x, dtype=np.float16).astype(np.float32)
+    try:
+        keep = MANTISSA_BITS[precision]
+    except KeyError:
+        raise ValueError(f"cannot round to {precision}") from None
+    return round_mantissa(x, keep)
+
+
+def split_terms(x: np.ndarray, keep_bits: int, n_terms: int) -> Tuple[np.ndarray, ...]:
+    """Decompose FP32 ``x`` into ``n_terms`` reduced-precision components.
+
+    Successive residual extraction: ``t1 = rnd(x)``, ``t2 = rnd(x - t1)``,
+    ``t3 = rnd(x - t1 - t2)`` ... with residuals computed exactly in FP32
+    (each subtraction is exact by Sterbenz-style cancellation whenever
+    the rounding error is small relative to the operands, and at worst
+    an FP32 rounding otherwise).  This is the decomposition oneMKL's
+    ``FLOAT_TO_BF16X{2,3}`` modes use: ``x ~= t1 + t2 + t3`` with each
+    term representable in BF16.
+    """
+    if n_terms < 1:
+        raise ValueError(f"n_terms must be >= 1, got {n_terms}")
+    residual = np.ascontiguousarray(x, dtype=np.float32)
+    terms = []
+    for _ in range(n_terms):
+        t = round_mantissa(residual, keep_bits)
+        terms.append(t)
+        residual = residual - t
+    return tuple(terms)
+
+
+def split_bf16(x: np.ndarray, n_terms: int) -> Tuple[np.ndarray, ...]:
+    """BF16 multi-term split (see :func:`split_terms`)."""
+    return split_terms(x, MANTISSA_BITS[Precision.BF16], n_terms)
+
+
+def split_tf32(x: np.ndarray, n_terms: int = 1) -> Tuple[np.ndarray, ...]:
+    """TF32 multi-term split (see :func:`split_terms`)."""
+    return split_terms(x, MANTISSA_BITS[Precision.TF32], n_terms)
+
+
+def max_relative_error(keep_bits: int) -> float:
+    """Worst-case relative input error of rounding to ``keep_bits``.
+
+    Section V-B of the paper: rounding off all but the lowest ``n``
+    mantissa bits induces at most a ``2**-(n+1)`` relative perturbation
+    of each (normal) input.
+    """
+    return 2.0 ** -(keep_bits + 1)

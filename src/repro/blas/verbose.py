@@ -1,0 +1,137 @@
+"""``MKL_VERBOSE``-style per-call BLAS logging.
+
+The paper's Artifact A3 extracts every Table VI / VII / Fig. 3b number
+from ``MKL_VERBOSE=2`` output: one line per BLAS call carrying the
+routine name, matrix dimensions and synchronous timing.  We reproduce
+the mechanism: when verbosity is enabled (environment variable
+``MKL_VERBOSE`` or the :func:`mkl_verbose` context manager), every GEMM
+appends a :class:`VerboseRecord` to a thread-local log and can render
+it in an MKL-look-alike text form.
+
+Records carry *two* timings: ``seconds`` (wall-clock of the emulation
+itself, only meaningful for relative software cost) and
+``model_seconds`` (the Intel Max 1550 device-model prediction, the
+number the reproduction actually reports — see
+:mod:`repro.gpu.gemm_model`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import threading
+from typing import Iterator, List, Optional
+
+from repro.blas.modes import ComputeMode
+
+__all__ = [
+    "VerboseRecord",
+    "mkl_verbose",
+    "verbose_enabled",
+    "get_verbose_log",
+    "clear_verbose_log",
+    "record_call",
+    "format_verbose_line",
+]
+
+MKL_VERBOSE_ENV = "MKL_VERBOSE"
+
+_state = threading.local()
+
+
+@dataclasses.dataclass(frozen=True)
+class VerboseRecord:
+    """One BLAS call as MKL_VERBOSE would report it."""
+
+    routine: str          #: e.g. ``"cgemm"``
+    trans_a: str          #: 'N', 'T' or 'C'
+    trans_b: str
+    m: int
+    n: int
+    k: int
+    mode: ComputeMode     #: effective compute mode of the call
+    seconds: float        #: wall-clock time of the software emulation
+    model_seconds: Optional[float] = None  #: device-model predicted time
+    site: str = ""        #: application call site (nlp_prop / calc_energy / remap_occ)
+    batch: int = 1        #: > 1 for gemm_batch calls
+
+    @property
+    def flops(self) -> float:
+        """Nominal FLOP count of the logical GEMM (complex counts 4M)."""
+        mults = 8.0 if self.routine.startswith(("c", "z")) else 2.0
+        return mults * self.m * self.n * self.k * self.batch
+
+    @property
+    def reported_seconds(self) -> float:
+        """Timing the study uses: model time if available, else wall."""
+        return self.model_seconds if self.model_seconds is not None else self.seconds
+
+
+def verbose_enabled() -> bool:
+    """Whether calls are currently being logged."""
+    depth = getattr(_state, "depth", 0)
+    if depth > 0:
+        return True
+    raw = os.environ.get(MKL_VERBOSE_ENV, "")
+    return raw.strip() not in ("", "0")
+
+
+def _log() -> List[VerboseRecord]:
+    log = getattr(_state, "log", None)
+    if log is None:
+        log = _state.log = []
+    return log
+
+
+def get_verbose_log() -> List[VerboseRecord]:
+    """The thread-local list of records accumulated so far."""
+    return _log()
+
+
+def clear_verbose_log() -> None:
+    """Drop all accumulated records for this thread."""
+    _log().clear()
+
+
+def record_call(record: VerboseRecord) -> None:
+    """Append a record if verbosity is enabled (no-op otherwise)."""
+    if verbose_enabled():
+        _log().append(record)
+
+
+@contextlib.contextmanager
+def mkl_verbose(clear: bool = True) -> Iterator[List[VerboseRecord]]:
+    """Enable per-call logging for a scope and yield the live log.
+
+    >>> with mkl_verbose() as log:
+    ...     cgemm(A, B)
+    >>> log[0].routine, log[0].m
+    """
+    if clear:
+        clear_verbose_log()
+    _state.depth = getattr(_state, "depth", 0) + 1
+    try:
+        yield _log()
+    finally:
+        _state.depth -= 1
+
+
+def format_verbose_line(rec: VerboseRecord) -> str:
+    """Render a record in an ``MKL_VERBOSE``-look-alike single line."""
+    t = rec.reported_seconds
+    if t >= 1.0:
+        timing = f"{t:.6f}s"
+    elif t >= 1e-3:
+        timing = f"{t * 1e3:.3f}ms"
+    else:
+        timing = f"{t * 1e6:.2f}us"
+    mode = "" if rec.mode is ComputeMode.STANDARD else f" mode:{rec.mode.env_value}"
+    site = f" site:{rec.site}" if rec.site else ""
+    batch = f" batch:{rec.batch}" if rec.batch > 1 else ""
+    name = rec.routine.upper() + ("_BATCH" if rec.batch > 1 else "")
+    return (
+        f"MKL_VERBOSE {name}"
+        f"({rec.trans_a},{rec.trans_b},{rec.m},{rec.n},{rec.k}) "
+        f"{timing}{mode}{site}{batch}"
+    )

@@ -1,0 +1,99 @@
+"""Deviation-from-reference accuracy series (Figs. 1 and 2).
+
+"The difference in the value of the outputs between the alternate
+precision and that of FP32 were extracted and plotted over time."
+(Section V-A.)  The reference precision is FP32 with no alternative
+mode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.blas.modes import ComputeMode
+from repro.dcmesh.simulation import SimulationResult
+
+__all__ = ["DeviationSeries", "deviation_from_reference", "OBSERVABLES"]
+
+#: The three observables of Fig. 1 (a: nexc, b: javg, c: ekin).
+OBSERVABLES = ("nexc", "javg", "ekin")
+
+
+@dataclasses.dataclass
+class DeviationSeries:
+    """|observable(mode) - observable(FP32)| over simulation time."""
+
+    observable: str
+    mode: ComputeMode
+    time_fs: np.ndarray
+    deviation: np.ndarray            #: absolute deviation from FP32
+    reference: np.ndarray            #: the FP32 series itself
+
+    def __post_init__(self) -> None:
+        if self.time_fs.shape != self.deviation.shape:
+            raise ValueError(
+                f"time axis {self.time_fs.shape} and deviation "
+                f"{self.deviation.shape} differ"
+            )
+
+    @property
+    def max_deviation(self) -> float:
+        return float(self.deviation.max()) if self.deviation.size else 0.0
+
+    @property
+    def final_deviation(self) -> float:
+        return float(self.deviation[-1]) if self.deviation.size else 0.0
+
+    def relative(self) -> np.ndarray:
+        """Deviation relative to the reference magnitude (paper: "the
+        deviations relative to the absolute values of each metric are
+        ... in the order of 1%")."""
+        scale = np.maximum(np.abs(self.reference), np.finfo(np.float64).tiny)
+        return self.deviation / scale
+
+    def log10(self, floor: float = 1e-300) -> np.ndarray:
+        """``log10`` of the deviation — the Fig. 2 transform."""
+        return np.log10(np.maximum(self.deviation, floor))
+
+
+def deviation_from_reference(
+    results: Dict[ComputeMode, SimulationResult],
+    observables: Iterable[str] = OBSERVABLES,
+    reference_mode: ComputeMode = ComputeMode.STANDARD,
+) -> Dict[str, List[DeviationSeries]]:
+    """Build the Fig. 1 deviation series for every non-reference mode.
+
+    All runs must share the same step grid (the methodology guarantees
+    this: identical computations, only BLAS modes differ).
+    """
+    if reference_mode not in results:
+        raise ValueError(f"reference mode {reference_mode} missing from results")
+    ref = results[reference_mode]
+    time_fs = ref.column("time_fs")
+    out: Dict[str, List[DeviationSeries]] = {}
+    for obs in observables:
+        ref_col = ref.column(obs)
+        series: List[DeviationSeries] = []
+        for mode, res in results.items():
+            if mode is reference_mode:
+                continue
+            col = res.column(obs)
+            if col.shape != ref_col.shape:
+                raise ValueError(
+                    f"{mode} run has {col.shape[0]} records, reference has "
+                    f"{ref_col.shape[0]}: runs are not comparable"
+                )
+            series.append(
+                DeviationSeries(
+                    observable=obs,
+                    mode=mode,
+                    time_fs=time_fs,
+                    deviation=np.abs(col - ref_col),
+                    reference=ref_col,
+                )
+            )
+        out[obs] = series
+    return out

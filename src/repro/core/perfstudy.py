@@ -1,0 +1,122 @@
+"""End-to-end QD-step timing per compute mode (Fig. 3a).
+
+The paper times 500 QD steps with unitrace for the 40-atom and
+135-atom systems at FP64, FP32 and each alternative BLAS mode.  Those
+systems do not fit a laptop, so the timing is evaluated on the device
+model over the analytic step schedule (:mod:`repro.core.schedule`) —
+the same schedule a real run books on the device, as the integration
+tests verify.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.blas.modes import ComputeMode
+from repro.core.schedule import psi_bytes, qd_step_schedule
+from repro.gpu.gemm_model import GemmModel
+from repro.gpu.specs import DeviceSpec, MAX_1550_STACK
+from repro.types import Precision
+
+__all__ = ["StepTiming", "PerfStudy", "FIG3A_CONFIGS"]
+
+#: Fig. 3a's precision configurations in plotting order:
+#: (label, LFD storage precision, BLAS compute mode).
+FIG3A_CONFIGS: Tuple[Tuple[str, Precision, ComputeMode], ...] = (
+    ("FP64", Precision.FP64, ComputeMode.STANDARD),
+    ("FP32", Precision.FP32, ComputeMode.STANDARD),
+    ("BF16", Precision.FP32, ComputeMode.FLOAT_TO_BF16),
+    ("BF16X2", Precision.FP32, ComputeMode.FLOAT_TO_BF16X2),
+    ("BF16X3", Precision.FP32, ComputeMode.FLOAT_TO_BF16X3),
+    ("TF32", Precision.FP32, ComputeMode.FLOAT_TO_TF32),
+    ("COMPLEX_3M", Precision.FP32, ComputeMode.COMPLEX_3M),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class StepTiming:
+    """Modelled cost of one QD step under one configuration."""
+
+    label: str
+    storage: Precision
+    mode: ComputeMode
+    blas_seconds: float
+    stream_seconds: float
+
+    @property
+    def step_seconds(self) -> float:
+        return self.blas_seconds + self.stream_seconds
+
+    def block_seconds(self, n_steps: int = 500) -> float:
+        """Time for the paper's 500-QD-step measurement window."""
+        return self.step_seconds * n_steps
+
+    @property
+    def blas_fraction(self) -> float:
+        return self.blas_seconds / self.step_seconds if self.step_seconds else 0.0
+
+
+class PerfStudy:
+    """Evaluates Fig. 3a rows on the modelled device."""
+
+    def __init__(self, spec: DeviceSpec = MAX_1550_STACK):
+        self.spec = spec
+        self.model = GemmModel(spec)
+
+    def step_timing(
+        self,
+        n_grid: int,
+        n_orb: int,
+        n_occ: int,
+        storage: Precision,
+        mode: ComputeMode,
+        label: str = "",
+    ) -> StepTiming:
+        """Model one QD step of an (n_grid, n_orb) system."""
+        gemms, streams = qd_step_schedule(n_grid, n_orb, n_occ, storage)
+        blas = sum(
+            self.model.seconds(g.routine, g.m, g.n, g.k, mode) for g in gemms
+        )
+        buf = psi_bytes(n_grid, n_orb, storage)
+        rate = self.spec.stream_rate(buf)
+        stream = sum(
+            s.passes * buf / rate + self.spec.kernel_launch_overhead for s in streams
+        )
+        return StepTiming(
+            label=label or mode.env_value,
+            storage=storage,
+            mode=mode,
+            blas_seconds=blas,
+            stream_seconds=stream,
+        )
+
+    def figure_3a(
+        self,
+        systems: Optional[Dict[str, Tuple[int, int, int]]] = None,
+        n_steps: int = 500,
+    ) -> Dict[str, List[StepTiming]]:
+        """Fig. 3a: 500-QD-step times for both systems, all configs.
+
+        ``systems`` maps a label to ``(n_grid, n_orb, n_occ)``;
+        defaults to the paper's 40-atom (64^3, 256, 128) and 135-atom
+        (96^3, 1024, 432) systems.
+        """
+        if systems is None:
+            systems = {
+                "40-atom": (64**3, 256, 128),
+                "135-atom": (96**3, 1024, 432),
+            }
+        out: Dict[str, List[StepTiming]] = {}
+        for label, (n_grid, n_orb, n_occ) in systems.items():
+            rows = [
+                self.step_timing(n_grid, n_orb, n_occ, storage, mode, label=cfg_label)
+                for cfg_label, storage, mode in FIG3A_CONFIGS
+            ]
+            out[label] = rows
+        return out
+
+    def speedup_over_fp32(self, timings: List[StepTiming]) -> Dict[str, float]:
+        """End-to-end speedups vs the FP32 row of a Fig. 3a series."""
+        fp32 = next(t for t in timings if t.label == "FP32")
+        return {t.label: fp32.step_seconds / t.step_seconds for t in timings}

@@ -1,0 +1,122 @@
+"""ASCII time-series plots for terminal reproduction of Figs. 1-2.
+
+No plotting stack is assumed offline; these renderers give the
+experiment scripts legible curves in a terminal: a multi-series line
+plot on linear or log10 axes, with per-series markers and a legend.
+The CSV outputs remain the canonical data for real figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot", "plot_deviation_series"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    logy: bool = False,
+    title: str = "",
+    ylabel: str = "",
+    floor: float = 1e-30,
+) -> str:
+    """Render one or more y(x) series as ASCII.
+
+    Parameters
+    ----------
+    x:
+        Shared x grid (monotone).
+    series:
+        label -> y values (same length as ``x``).
+    logy:
+        Plot ``log10(max(y, floor))`` instead of y.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1 or len(x) < 2:
+        raise ValueError("x must be a 1-D grid with at least 2 points")
+    if not series:
+        raise ValueError("no series to plot")
+    ys = {}
+    for label, y in series.items():
+        y = np.asarray(y, dtype=float)
+        if y.shape != x.shape:
+            raise ValueError(
+                f"series {label!r} has shape {y.shape}, x has {x.shape}"
+            )
+        ys[label] = np.log10(np.maximum(y, floor)) if logy else y
+
+    y_all = np.concatenate(list(ys.values()))
+    y_lo, y_hi = float(y_all.min()), float(y_all.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(xv: float) -> int:
+        return int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def row(yv: float) -> int:
+        return int(round((y_hi - yv) / (y_hi - y_lo) * (height - 1)))
+
+    for idx, (label, y) in enumerate(ys.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for xv, yv in zip(x, y):
+            grid[row(yv)][col(xv)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_label = f"log10 {ylabel}".strip() if logy else ylabel
+    top = f"{y_hi:+.3g}"
+    bottom = f"{y_lo:+.3g}"
+    pad = max(len(top), len(bottom))
+    for r, rowchars in enumerate(grid):
+        prefix = top if r == 0 else (bottom if r == height - 1 else "")
+        lines.append(f"{prefix:>{pad}} |" + "".join(rowchars))
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + f"  {x_lo:g}" + " " * max(width - 16, 1) + f"{x_hi:g}"
+    )
+    if axis_label:
+        lines.append(f"y: {axis_label}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={label}" for i, label in enumerate(ys)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def plot_deviation_series(
+    deviations,
+    observable: str,
+    logy: bool = True,
+    width: int = 72,
+    height: int = 16,
+) -> str:
+    """Plot one observable's deviation series (Figs. 1-2 style).
+
+    ``deviations`` is the dict produced by
+    :func:`repro.core.deviation.deviation_from_reference`.
+    """
+    series_list = deviations[observable]
+    if not series_list:
+        raise ValueError(f"no series for observable {observable!r}")
+    x = series_list[0].time_fs
+    series = {s.mode.env_value: s.deviation for s in series_list}
+    return ascii_plot(
+        x,
+        series,
+        width=width,
+        height=height,
+        logy=logy,
+        title=f"deviation from FP32: {observable}",
+        ylabel=f"|d {observable}|",
+    )

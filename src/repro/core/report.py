@@ -1,0 +1,63 @@
+"""Plain-text and CSV rendering for experiment outputs.
+
+Every experiment script renders its table/series through these
+helpers, so EXPERIMENTS.md and the bench logs share one format.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, List, Sequence, Union
+
+__all__ = ["render_table", "write_csv", "format_value"]
+
+PathLike = Union[str, Path]
+
+
+def format_value(v: Any) -> str:
+    """Uniform cell formatting: floats to 4 significant digits."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        av = abs(v)
+        if 1e-3 <= av < 1e5:
+            return f"{v:.4g}"
+        return f"{v:.3e}"
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Fixed-width text table."""
+    str_rows: List[List[str]] = [[format_value(c) for c in row] for row in rows]
+    if any(len(r) != len(headers) for r in str_rows):
+        raise ValueError("row width does not match headers")
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(path: PathLike, headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
+    """Write rows to a CSV file (creates parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))

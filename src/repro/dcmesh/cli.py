@@ -1,0 +1,132 @@
+"""``dcmesh`` console entry point — run simulations like the artifact.
+
+Usage::
+
+    dcmesh --small-test --mode FLOAT_TO_BF16 --output run.log
+    dcmesh --input inputs/ --steps 100 --verbose
+    dcmesh --write-inputs inputs/ --small-test     # emit the input deck
+
+Mirrors the artifact's workflow: the compute mode can equally be set
+through the ``MKL_BLAS_COMPUTE_MODE`` environment variable instead of
+``--mode`` — the flag simply wins when both are present.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.blas.modes import ComputeMode, UnknownComputeModeError
+from repro.blas.verbose import format_verbose_line, mkl_verbose
+from repro.dcmesh.io.loader import load_simulation_config, save_simulation_config
+from repro.dcmesh.io.output import write_run_log
+from repro.dcmesh.simulation import Simulation, SimulationConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dcmesh",
+        description="Run the reproduced DCMESH simulation "
+        "(LFD compute mode via --mode or MKL_BLAS_COMPUTE_MODE).",
+    )
+    src = parser.add_mutually_exclusive_group(required=True)
+    src.add_argument(
+        "--input", metavar="DIR",
+        help="directory with PTOquick.dc, CONFIG and lfd.in",
+    )
+    src.add_argument(
+        "--small-test", action="store_true",
+        help="use the built-in laptop-scale configuration",
+    )
+    parser.add_argument(
+        "--write-inputs", metavar="DIR", default=None,
+        help="write the input deck for the chosen configuration and exit",
+    )
+    parser.add_argument(
+        "--mode", default=None,
+        help="BLAS compute mode (e.g. FLOAT_TO_BF16); default: environment",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=None,
+        help="override the number of QD steps",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the QD-step log here (default: stdout)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="print MKL_VERBOSE-style lines for every BLAS call",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.small_test:
+        config = SimulationConfig.small_test()
+    else:
+        try:
+            config = load_simulation_config(args.input)
+        except (OSError, ValueError) as exc:
+            print(f"dcmesh: cannot load inputs: {exc}", file=sys.stderr)
+            return 2
+
+    if args.write_inputs:
+        save_simulation_config(args.write_inputs, config)
+        print(f"input deck written to {args.write_inputs}/")
+        return 0
+
+    mode = None
+    if args.mode is not None:
+        try:
+            mode = ComputeMode.parse(args.mode)
+        except UnknownComputeModeError as exc:
+            print(f"dcmesh: {exc}", file=sys.stderr)
+            return 2
+
+    sim = Simulation(config)
+    print(
+        f"dcmesh: {config.n_atoms} atoms, mesh "
+        f"{'x'.join(map(str, config.mesh_shape))}, {config.n_orb} orbitals",
+        file=sys.stderr,
+    )
+    print("dcmesh: converging FP64 ground state (QXMD/SCF)...", file=sys.stderr)
+    ground = sim.setup()
+    print(
+        f"dcmesh: SCF {'converged' if ground.converged else 'NOT converged'} "
+        f"in {ground.n_iter} iterations",
+        file=sys.stderr,
+    )
+
+    if args.verbose:
+        with mkl_verbose() as log:
+            result = sim.run(mode=mode, n_steps=args.steps)
+        for record in log:
+            print(format_verbose_line(record), file=sys.stderr)
+    else:
+        result = sim.run(mode=mode, n_steps=args.steps)
+
+    header = (
+        f"mode: {result.mode.env_value}\n"
+        f"atoms: {config.n_atoms}  mesh: {config.mesh_shape}  n_orb: {config.n_orb}"
+    )
+    if args.output:
+        write_run_log(args.output, result.records, header=header)
+        print(f"dcmesh: {len(result.records)} QD records -> {args.output}",
+              file=sys.stderr)
+    else:
+        from repro.dcmesh.observables import format_qd_line
+
+        for h in header.splitlines():
+            print(f"# {h}")
+        for record in result.records:
+            print(format_qd_line(record))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Physical constants and unit conversions (Hartree atomic units).
+
+DCMESH works in Hartree atomic units (hbar = m_e = e = 1): energies in
+Hartree, lengths in bohr, times in atomic time units.  The paper's
+Table III quotes a timestep of 0.02 (a.u.) and a 10 fs total
+simulation: 21 000 x 0.02 a.u. = 420 a.u. = 10.16 fs, which is how we
+know the units.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HARTREE_EV",
+    "BOHR_ANGSTROM",
+    "FS_PER_AU",
+    "AU_PER_FS",
+    "AMU_TO_AU",
+]
+
+#: One Hartree in electron-volts.
+HARTREE_EV = 27.211386245988
+
+#: One bohr in Angstrom.
+BOHR_ANGSTROM = 0.529177210903
+
+#: One atomic time unit in femtoseconds.
+FS_PER_AU = 0.02418884326509
+
+#: One femtosecond in atomic time units.
+AU_PER_FS = 1.0 / FS_PER_AU
+
+#: One atomic mass unit in electron masses.
+AMU_TO_AU = 1822.888486209

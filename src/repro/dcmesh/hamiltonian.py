@@ -1,0 +1,97 @@
+"""Kohn–Sham-like Hamiltonian: kinetic + local + separable nonlocal.
+
+``H = (k + A)^2 / 2 + V_loc(r) + V_nl`` in the velocity gauge.  The
+ionic part of ``V_loc`` is built in reciprocal space from Gaussian
+form factors (periodic by construction); Hartree and LDA-exchange
+terms are added by the SCF driver.  Application is spectral for the
+kinetic term and pointwise/separable for the potentials — FP64, since
+this object serves the QXMD phase.  The LFD phase never applies H
+directly; it uses split-operator phases plus the BLASified subspace
+correction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dcmesh.material import Material
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.projectors import ProjectorSet
+
+__all__ = ["Hamiltonian", "ionic_potential"]
+
+
+def ionic_potential(material: Material, mesh: Mesh) -> np.ndarray:
+    """Sum of periodic Gaussian ionic wells, built in G-space.
+
+    Each atom contributes ``-Z_a * exp(-|r - R_a|^2 / (2 sigma_a^2))``
+    normalised as a potential well of depth ``Z_a / (sigma_a sqrt(2 pi))^?``
+    — we keep the bare Gaussian form (soft pseudopotential); absolute
+    depths only shift the spectrum, which is irrelevant to the
+    deviation-from-FP32 methodology.
+    """
+    k2 = mesh.k2.reshape(mesh.shape)
+    vg = np.zeros(mesh.shape, dtype=np.complex128)
+    kv = mesh.kvecs
+    # Gaussian transform: FT[exp(-r^2/2s^2)] = (2 pi s^2)^{3/2} exp(-k^2 s^2 / 2)
+    for spec, pos in zip(material.specs, material.positions):
+        phase = np.exp(-1j * (kv @ pos)).reshape(mesh.shape)
+        form = (2.0 * np.pi * spec.sigma**2) ** 1.5 * np.exp(-0.5 * k2 * spec.sigma**2)
+        vg += -spec.valence * form * phase
+    vg /= mesh.volume  # discrete structure-factor normalisation
+    v = np.fft.ifftn(vg * mesh.n_grid).real
+    return v.reshape(mesh.n_grid)
+
+
+class Hamiltonian:
+    """H applied to ``(N_grid, N_orb)`` orbital matrices (FP64 path)."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        v_local: np.ndarray,
+        projectors: Optional[ProjectorSet] = None,
+    ):
+        v_local = np.asarray(v_local, dtype=np.float64)
+        if v_local.shape != (mesh.n_grid,):
+            raise ValueError(
+                f"v_local must be flat (N_grid,), got {v_local.shape}"
+            )
+        self.mesh = mesh
+        self.v_local = v_local
+        self.projectors = projectors
+
+    def kinetic_apply(self, psi: np.ndarray, a_field: Optional[np.ndarray] = None) -> np.ndarray:
+        """``(k + A)^2/2 psi`` via FFT (exact spectral kinetic)."""
+        mesh = self.mesh
+        if a_field is None:
+            disp = 0.5 * mesh.k2
+        else:
+            a = np.asarray(a_field, dtype=np.float64)
+            if a.shape != (3,):
+                raise ValueError(f"a_field must be a 3-vector, got {a.shape}")
+            disp = 0.5 * (mesh.k2 + 2.0 * (mesh.kvecs @ a) + a @ a)
+        psig = mesh.fft(psi)
+        psig *= disp[:, None].astype(psig.real.dtype)
+        return mesh.ifft(psig)
+
+    def apply(self, psi: np.ndarray, a_field: Optional[np.ndarray] = None) -> np.ndarray:
+        """Full ``H psi``."""
+        out = self.kinetic_apply(psi, a_field)
+        out += self.v_local[:, None] * psi
+        if self.projectors is not None:
+            out += self.projectors.apply(psi)
+        return out
+
+    def expectation(self, psi: np.ndarray, occupations: np.ndarray) -> float:
+        """Occupation-weighted total ``sum_j f_j <psi_j|H|psi_j>``."""
+        hpsi = self.apply(psi)
+        per_orbital = np.real(np.sum(psi.conj() * hpsi, axis=0)) * self.mesh.dv
+        return float(per_orbital @ occupations)
+
+    def subspace(self, psi: np.ndarray) -> np.ndarray:
+        """Dense ``<psi_i|H|psi_j>`` matrix (Rayleigh–Ritz input)."""
+        hpsi = self.apply(psi)
+        return (psi.conj().T @ hpsi) * self.mesh.dv

@@ -1,0 +1,34 @@
+"""DCMESH input/output file formats.
+
+The artifact appendix names three author-provided inputs — the
+``PTOquick.dc`` system/pseudopotential file, the ``CONFIG`` atomic
+configuration and the ``lfd.in`` LFD namelist — plus the run log whose
+QD-step lines Figures 1-2 are plotted from.  The originals are not
+public; these are faithful-in-spirit plain-text equivalents with full
+round-trip (write -> parse -> identical config) support, so a
+reproduction run can be driven entirely from input files, like the
+original code.
+"""
+
+from repro.dcmesh.io.dcinput import parse_dc_file, write_dc_file
+from repro.dcmesh.io.config import parse_config_file, write_config_file
+from repro.dcmesh.io.lfdinput import parse_lfd_input, write_lfd_input
+from repro.dcmesh.io.output import read_run_log, write_run_log
+from repro.dcmesh.io.loader import load_simulation_config, save_simulation_config
+from repro.dcmesh.io.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+
+__all__ = [
+    "parse_dc_file",
+    "write_dc_file",
+    "parse_config_file",
+    "write_config_file",
+    "parse_lfd_input",
+    "write_lfd_input",
+    "read_run_log",
+    "write_run_log",
+    "load_simulation_config",
+    "save_simulation_config",
+    "Checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,73 @@
+"""``CONFIG`` — atomic configuration file (positions in bohr).
+
+Format::
+
+    # DCMESH CONFIG
+    box   15.0 15.0 15.0
+    atom  Pb   0.00  0.00  0.00
+    atom  Ti   3.75  3.75  3.75
+    ...
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.dcmesh.material import AtomSpec, Material, PTO_SPECIES
+
+__all__ = ["parse_config_file", "write_config_file"]
+
+PathLike = Union[str, Path]
+
+
+def parse_config_file(
+    path: PathLike,
+    species: Optional[Dict[str, AtomSpec]] = None,
+) -> Material:
+    """Parse a ``CONFIG`` file into a :class:`Material`."""
+    box = None
+    symbols = []
+    positions = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        try:
+            if parts[0] == "box":
+                if len(parts) != 4:
+                    raise ValueError("box needs three lengths")
+                box = tuple(float(x) for x in parts[1:])
+            elif parts[0] == "atom":
+                if len(parts) != 5:
+                    raise ValueError("atom needs a symbol and three coordinates")
+                symbols.append(parts[1])
+                positions.append([float(x) for x in parts[2:]])
+            else:
+                raise ValueError(f"unknown keyword {parts[0]!r}")
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from None
+    if box is None:
+        raise ValueError(f"{path}: missing box line")
+    if not symbols:
+        raise ValueError(f"{path}: no atoms")
+    return Material(
+        symbols,
+        np.asarray(positions),
+        box,
+        dict(PTO_SPECIES) if species is None else dict(species),
+    )
+
+
+def write_config_file(path: PathLike, material: Material) -> None:
+    """Write a ``CONFIG`` file (inverse of :func:`parse_config_file`)."""
+    lines = ["# DCMESH CONFIG (reproduction format)"]
+    lines.append("box   " + " ".join(repr(float(b)) for b in material.box))
+    for sym, pos in zip(material.symbols, material.positions):
+        lines.append(
+            f"atom  {sym:3s} " + " ".join(f"{x!r}" for x in pos.tolist())
+        )
+    Path(path).write_text("\n".join(lines) + "\n")

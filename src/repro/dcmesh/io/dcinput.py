@@ -1,0 +1,115 @@
+"""``PTOquick.dc`` — system and pseudo-species description.
+
+Format (comment lines start with ``#``)::
+
+    # DCMESH system file
+    ncells    2 2 2
+    lattice   7.5
+    mesh      64 64 64
+    norb      256
+    species   Pb  valence=14 sigma=1.10 nl_strength=0.9 nl_sigma=1.3 mass=207.2
+    species   Ti  valence=12 sigma=0.90 nl_strength=1.2 nl_sigma=1.1 mass=47.867
+    species   O   valence=2  sigma=0.70 nl_strength=0.5 nl_sigma=0.9 mass=15.999
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from repro.dcmesh.material import AtomSpec, PTO_SPECIES
+
+__all__ = ["parse_dc_file", "write_dc_file", "DCSystem"]
+
+PathLike = Union[str, Path]
+
+
+class DCSystem(dict):
+    """Parsed ``.dc`` contents: keys ``ncells``, ``lattice``, ``mesh``,
+    ``norb``, ``species`` (dict of :class:`AtomSpec`)."""
+
+
+def _parse_species_line(rest: str) -> Tuple[str, AtomSpec]:
+    parts = rest.split()
+    if not parts:
+        raise ValueError("species line needs a symbol")
+    symbol = parts[0]
+    kv: Dict[str, float] = {}
+    for token in parts[1:]:
+        if "=" not in token:
+            raise ValueError(f"malformed species attribute {token!r}")
+        key, val = token.split("=", 1)
+        kv[key] = float(val)
+    required = {"valence", "sigma", "nl_strength", "nl_sigma", "mass"}
+    missing = required - kv.keys()
+    if missing:
+        raise ValueError(f"species {symbol}: missing attributes {sorted(missing)}")
+    return symbol, AtomSpec(
+        symbol=symbol,
+        valence=int(kv["valence"]),
+        sigma=kv["sigma"],
+        nl_strength=kv["nl_strength"],
+        nl_sigma=kv["nl_sigma"],
+        mass_amu=kv["mass"],
+    )
+
+
+def parse_dc_file(path: PathLike) -> DCSystem:
+    """Parse a ``.dc`` system file."""
+    out = DCSystem(species={})
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        key, _, rest = line.partition(" ")
+        rest = rest.strip()
+        try:
+            if key == "ncells":
+                out["ncells"] = tuple(int(x) for x in rest.split())
+                if len(out["ncells"]) != 3:
+                    raise ValueError("ncells needs three integers")
+            elif key == "lattice":
+                out["lattice"] = float(rest)
+            elif key == "mesh":
+                out["mesh"] = tuple(int(x) for x in rest.split())
+                if len(out["mesh"]) != 3:
+                    raise ValueError("mesh needs three integers")
+            elif key == "norb":
+                out["norb"] = int(rest)
+            elif key == "species":
+                sym, spec = _parse_species_line(rest)
+                out["species"][sym] = spec
+            else:
+                raise ValueError(f"unknown keyword {key!r}")
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from None
+    for required in ("ncells", "lattice", "mesh", "norb"):
+        if required not in out:
+            raise ValueError(f"{path}: missing required keyword {required!r}")
+    if not out["species"]:
+        out["species"] = dict(PTO_SPECIES)
+    return out
+
+
+def write_dc_file(
+    path: PathLike,
+    ncells,
+    lattice: float,
+    mesh,
+    norb: int,
+    species: Dict[str, AtomSpec] = None,
+) -> None:
+    """Write a ``.dc`` system file (inverse of :func:`parse_dc_file`)."""
+    species = dict(PTO_SPECIES) if species is None else species
+    lines = ["# DCMESH system file (reproduction format)"]
+    lines.append(f"ncells    {ncells[0]} {ncells[1]} {ncells[2]}")
+    lines.append(f"lattice   {lattice!r}")
+    lines.append(f"mesh      {mesh[0]} {mesh[1]} {mesh[2]}")
+    lines.append(f"norb      {norb}")
+    for sym, spec in species.items():
+        lines.append(
+            f"species   {sym} valence={spec.valence} sigma={spec.sigma!r} "
+            f"nl_strength={spec.nl_strength!r} nl_sigma={spec.nl_sigma!r} "
+            f"mass={spec.mass_amu!r}"
+        )
+    Path(path).write_text("\n".join(lines) + "\n")

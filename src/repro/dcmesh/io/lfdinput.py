@@ -1,0 +1,107 @@
+"""``lfd.in`` — LFD namelist: timestep, step counts, laser, precision.
+
+Format (``key = value``)::
+
+    # DCMESH lfd.in
+    dt          = 0.02
+    nsteps      = 21000
+    nscf        = 500
+    storage     = fp32
+    move_ions   = true
+    seed        = 7
+    laser_amplitude = 0.15
+    laser_omega     = 0.057
+    laser_duration_fs = 8.0
+    laser_polarization = 0 0 1
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.dcmesh.laser import LaserPulse
+from repro.types import Precision
+
+__all__ = ["parse_lfd_input", "write_lfd_input", "LFDInput"]
+
+PathLike = Union[str, Path]
+
+
+class LFDInput(dict):
+    """Parsed ``lfd.in`` keys: ``dt``, ``nsteps``, ``nscf``, ``storage``
+    (:class:`Precision`), ``move_ions``, ``seed``, ``laser``
+    (:class:`LaserPulse`)."""
+
+
+_BOOLS = {"true": True, "yes": True, "1": True, "false": False, "no": False, "0": False}
+
+
+def parse_lfd_input(path: PathLike) -> LFDInput:
+    """Parse an ``lfd.in`` namelist."""
+    raw: Dict[str, str] = {}
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        body = line.split("#", 1)[0].strip()
+        if not body:
+            continue
+        if "=" not in body:
+            raise ValueError(f"{path}:{lineno}: expected 'key = value', got {body!r}")
+        key, val = (s.strip() for s in body.split("=", 1))
+        raw[key.lower()] = val
+
+    out = LFDInput()
+    try:
+        out["dt"] = float(raw.get("dt", "0.02"))
+        out["nsteps"] = int(raw.get("nsteps", "21000"))
+        out["nscf"] = int(raw.get("nscf", "500"))
+        storage = raw.get("storage", "fp32").lower()
+        out["storage"] = Precision(storage)
+        move = raw.get("move_ions", "true").lower()
+        if move not in _BOOLS:
+            raise ValueError(f"move_ions must be a boolean, got {move!r}")
+        out["move_ions"] = _BOOLS[move]
+        out["seed"] = int(raw.get("seed", "7"))
+        pol = tuple(float(x) for x in raw.get("laser_polarization", "0 0 1").split())
+        out["laser"] = LaserPulse(
+            amplitude=float(raw.get("laser_amplitude", "0.15")),
+            omega=float(raw.get("laser_omega", "0.057")),
+            duration_fs=float(raw.get("laser_duration_fs", "8.0")),
+            polarization=pol,
+        )
+        # QXMD/SCF controls (optional; defaults mirror SCFParams).
+        out["scf_max_iter"] = int(raw.get("scf_max_iter", "150"))
+        out["scf_tol"] = float(raw.get("scf_tol", "1e-7"))
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+    known = {
+        "dt", "nsteps", "nscf", "storage", "move_ions", "seed",
+        "laser_amplitude", "laser_omega", "laser_duration_fs",
+        "laser_polarization", "scf_max_iter", "scf_tol",
+    }
+    unknown = sorted(set(raw) - known)
+    if unknown:
+        raise ValueError(f"{path}: unknown keys {unknown}")
+    return out
+
+
+def write_lfd_input(path: PathLike, inp: Dict[str, Any]) -> None:
+    """Write an ``lfd.in`` namelist (inverse of :func:`parse_lfd_input`)."""
+    laser: LaserPulse = inp["laser"]
+    storage: Precision = inp["storage"]
+    lines = [
+        "# DCMESH lfd.in (reproduction format)",
+        f"dt          = {inp['dt']!r}",
+        f"nsteps      = {inp['nsteps']}",
+        f"nscf        = {inp['nscf']}",
+        f"storage     = {storage.value}",
+        f"move_ions   = {'true' if inp['move_ions'] else 'false'}",
+        f"seed        = {inp['seed']}",
+        f"laser_amplitude = {laser.amplitude!r}",
+        f"laser_omega     = {laser.omega!r}",
+        f"laser_duration_fs = {laser.duration_fs!r}",
+        "laser_polarization = "
+        + " ".join(repr(float(p)) for p in laser.polarization),
+        f"scf_max_iter = {inp.get('scf_max_iter', 150)}",
+        f"scf_tol = {inp.get('scf_tol', 1e-7)!r}",
+    ]
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,92 @@
+"""Assemble a :class:`SimulationConfig` from the three input files.
+
+This is the reproduction of the artifact's run recipe: point the
+loader at a directory containing ``PTOquick.dc``, ``CONFIG`` and
+``lfd.in`` (the authors ship different sets for the 40- and 135-atom
+systems) and get back a ready-to-run configuration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.dcmesh.io.config import parse_config_file, write_config_file
+from repro.dcmesh.io.dcinput import parse_dc_file, write_dc_file
+from repro.dcmesh.io.lfdinput import parse_lfd_input, write_lfd_input
+from repro.dcmesh.material import build_pto_supercell
+from repro.dcmesh.simulation import SimulationConfig
+
+__all__ = ["load_simulation_config", "save_simulation_config", "INPUT_NAMES"]
+
+PathLike = Union[str, Path]
+
+#: The three files the artifact appendix names.
+INPUT_NAMES = ("PTOquick.dc", "CONFIG", "lfd.in")
+
+
+def load_simulation_config(directory: PathLike) -> SimulationConfig:
+    """Build a config from ``PTOquick.dc`` + ``CONFIG`` + ``lfd.in``.
+
+    The ``CONFIG`` file is cross-checked against the ``.dc`` system
+    description (atom count must match the supercell).
+    """
+    directory = Path(directory)
+    dc = parse_dc_file(directory / "PTOquick.dc")
+    material = parse_config_file(directory / "CONFIG", species=dc["species"])
+    lfd = parse_lfd_input(directory / "lfd.in")
+
+    expected_atoms = int(np.prod(dc["ncells"])) * 5
+    if material.n_atoms != expected_atoms:
+        raise ValueError(
+            f"CONFIG has {material.n_atoms} atoms but PTOquick.dc describes "
+            f"a {dc['ncells']} supercell ({expected_atoms} atoms)"
+        )
+    from repro.dcmesh.scf import SCFParams
+
+    return SimulationConfig(
+        ncells=dc["ncells"],
+        lattice=dc["lattice"],
+        mesh_shape=dc["mesh"],
+        n_orb=dc["norb"],
+        dt=lfd["dt"],
+        n_qd_steps=lfd["nsteps"],
+        nscf=lfd["nscf"],
+        laser=lfd["laser"],
+        storage=lfd["storage"],
+        move_ions=lfd["move_ions"],
+        seed=lfd["seed"],
+        scf=SCFParams(max_iter=lfd["scf_max_iter"], tol=lfd["scf_tol"]),
+    )
+
+
+def save_simulation_config(directory: PathLike, config: SimulationConfig) -> None:
+    """Write the three input files describing ``config``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_dc_file(
+        directory / "PTOquick.dc",
+        ncells=config.ncells,
+        lattice=config.lattice,
+        mesh=config.mesh_shape,
+        norb=config.n_orb,
+    )
+    material = build_pto_supercell(config.ncells, config.lattice,
+                                   jitter=config.jitter, seed=config.seed)
+    write_config_file(directory / "CONFIG", material)
+    write_lfd_input(
+        directory / "lfd.in",
+        dict(
+            dt=config.dt,
+            nsteps=config.n_qd_steps,
+            nscf=config.nscf,
+            storage=config.storage,
+            move_ions=config.move_ions,
+            seed=config.seed,
+            laser=config.laser,
+            scf_max_iter=config.scf.max_iter,
+            scf_tol=config.scf.tol,
+        ),
+    )

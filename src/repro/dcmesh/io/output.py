@@ -1,0 +1,41 @@
+"""Run-log reader/writer.
+
+The artifact pipes each simulation's stdout into a text file and plots
+the QD-step columns from it; we mirror that with explicit read/write
+helpers over the :mod:`repro.dcmesh.observables` line format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.dcmesh.observables import QDRecord, format_qd_line, parse_qd_line
+
+__all__ = ["write_run_log", "read_run_log"]
+
+PathLike = Union[str, Path]
+
+
+def write_run_log(path: PathLike, records: Iterable[QDRecord], header: str = "") -> None:
+    """Write a DCMESH-style run log, one QD line per record."""
+    lines: List[str] = []
+    if header:
+        for h in header.splitlines():
+            lines.append(f"# {h}")
+    lines.extend(format_qd_line(r) for r in records)
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_run_log(path: PathLike) -> List[QDRecord]:
+    """Parse a run log back into records (comments ignored)."""
+    records: List[QDRecord] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        body = line.strip()
+        if not body or body.startswith("#"):
+            continue
+        try:
+            records.append(parse_qd_line(body))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from None
+    return records

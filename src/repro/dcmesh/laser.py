@@ -1,0 +1,77 @@
+"""External laser pulse as a time-dependent vector potential.
+
+Light–matter coupling enters the LFD Hamiltonian in the velocity gauge
+through ``A_ext(t)``: the kinetic term becomes ``(k + A)^2 / 2``.  The
+pulse uses a sin^2 envelope — smooth switch-on and switch-off — which
+drives electrons out of the ground state and makes the paper's three
+observables (nexc, ekin, javg) evolve "highly dynamically" (Section
+V-A notes the kinetic energy rising quickly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.dcmesh.constants import AU_PER_FS
+
+__all__ = ["LaserPulse"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LaserPulse:
+    """sin^2-envelope vector-potential pulse, polarised along a unit vector.
+
+    ``A(t) = A0 * sin^2(pi t / T) * cos(omega t) * pol`` for
+    ``0 <= t <= T`` and zero outside.
+    """
+
+    amplitude: float = 0.15             #: peak |A|, atomic units
+    omega: float = 0.057                #: carrier angular frequency (~800 nm), a.u.
+    duration_fs: float = 8.0            #: envelope length T, femtoseconds
+    polarization: tuple = (0.0, 0.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if self.duration_fs <= 0:
+            raise ValueError(f"pulse duration must be positive, got {self.duration_fs}")
+        pol = np.asarray(self.polarization, dtype=np.float64)
+        norm = np.linalg.norm(pol)
+        if pol.shape != (3,) or norm == 0:
+            raise ValueError(f"polarization must be a non-zero 3-vector, got {self.polarization}")
+        object.__setattr__(self, "polarization", tuple(pol / norm))
+
+    @property
+    def duration_au(self) -> float:
+        """Envelope length in atomic time units."""
+        return self.duration_fs * AU_PER_FS
+
+    def envelope(self, t: float) -> float:
+        """sin^2 envelope value at time ``t`` (a.u.)."""
+        T = self.duration_au
+        if t <= 0.0 or t >= T:
+            return 0.0
+        return float(np.sin(np.pi * t / T) ** 2)
+
+    def vector_potential(self, t: float) -> np.ndarray:
+        """``A_ext(t)`` as a 3-vector, atomic units."""
+        a = self.amplitude * self.envelope(t) * np.cos(self.omega * t)
+        return a * np.asarray(self.polarization)
+
+    def scalar_amplitude(self, t: float) -> float:
+        """Projection of ``A_ext(t)`` on the polarisation axis — the
+        ``Aext`` column of the DCMESH QD-step output line."""
+        return float(self.amplitude * self.envelope(t) * np.cos(self.omega * t))
+
+    def electric_field(self, t: float) -> np.ndarray:
+        """``E(t) = -dA/dt`` (analytic derivative), 3-vector in a.u."""
+        T = self.duration_au
+        if t <= 0.0 or t >= T:
+            return np.zeros(3)
+        s, c = np.sin(np.pi * t / T), np.cos(np.pi * t / T)
+        denv = 2.0 * s * c * np.pi / T
+        da = self.amplitude * (
+            denv * np.cos(self.omega * t)
+            - (s**2) * self.omega * np.sin(self.omega * t)
+        )
+        return -da * np.asarray(self.polarization)

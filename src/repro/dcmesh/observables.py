@@ -1,0 +1,65 @@
+"""Per-QD-step observable records and the DCMESH output line.
+
+The artifact appendix describes the run log: "In order from left to
+right, these are ekin, epot, etot, eexc, nexc, Aext, and javg" — one
+line per QD step inside each MD step's LFD loop.  Figures 1 and 2 are
+plotted directly from these columns; we reproduce both the record and
+the text format so the harness parses runs exactly the way the authors
+did.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List
+
+__all__ = ["QDRecord", "format_qd_line", "parse_qd_line", "COLUMNS"]
+
+#: Column order of the DCMESH QD-step output line.
+COLUMNS = ("ekin", "epot", "etot", "eexc", "nexc", "aext", "javg")
+
+
+@dataclasses.dataclass(frozen=True)
+class QDRecord:
+    """Observables of one quantum-dynamical step."""
+
+    step: int        #: global QD step index (0-based)
+    time_fs: float   #: simulation time, femtoseconds
+    ekin: float      #: electronic kinetic energy, Hartree
+    epot: float      #: local potential energy, Hartree
+    etot: float      #: total electronic energy, Hartree
+    eexc: float      #: excitation energy etot(t) - etot(0), Hartree
+    nexc: float      #: number of excited electrons
+    aext: float      #: laser vector potential along polarisation, a.u.
+    javg: float      #: volume-averaged current density, a.u.
+
+    def values(self) -> tuple:
+        """The seven observable columns, in DCMESH order."""
+        return tuple(getattr(self, c) for c in COLUMNS)
+
+
+def format_qd_line(record: QDRecord) -> str:
+    """One DCMESH-style log line for a QD step."""
+    # 17 significant digits: lossless float64 round-trip through text.
+    body = " ".join(f"{v: .16e}" for v in record.values())
+    return f"QD {record.step:8d} {record.time_fs:.16e} {body}"
+
+
+def parse_qd_line(line: str) -> QDRecord:
+    """Inverse of :func:`format_qd_line`."""
+    parts = line.split()
+    if len(parts) != 2 + 1 + len(COLUMNS) or parts[0] != "QD":
+        raise ValueError(f"not a QD record line: {line!r}")
+    step = int(parts[1])
+    time_fs = float(parts[2])
+    vals = [float(x) for x in parts[3:]]
+    return QDRecord(step, time_fs, *vals)
+
+
+def records_to_columns(records: Iterable[QDRecord]) -> dict:
+    """Transpose records into column arrays (plain lists)."""
+    recs: List[QDRecord] = list(records)
+    out = {"step": [r.step for r in recs], "time_fs": [r.time_fs for r in recs]}
+    for c in COLUMNS:
+        out[c] = [getattr(r, c) for r in recs]
+    return out

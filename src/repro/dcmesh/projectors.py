@@ -1,0 +1,80 @@
+"""Separable (Kleinman–Bylander-style) nonlocal projectors.
+
+Each atom contributes one Gaussian projector channel; the nonlocal
+potential is ``V_nl = sum_a |p_a> D_a <p_a|`` with normalised
+projectors.  In DCMESH the *application* of this operator to the
+propagating wavefunctions is not done on the mesh: it is remapped to
+the subspace of t=0 Kohn–Sham orbitals, which turns it into the dense
+``N_grid x N_orb`` GEMMs the whole paper is about
+(:mod:`repro.dcmesh.nlp`).  Here on the mesh it is only needed in the
+FP64 QXMD phase (SCF) and when building the subspace operator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.dcmesh.material import Material
+from repro.dcmesh.mesh import Mesh
+
+__all__ = ["ProjectorSet", "build_projectors"]
+
+
+@dataclasses.dataclass
+class ProjectorSet:
+    """Projector matrix plus channel couplings.
+
+    ``p`` has shape ``(N_grid, N_proj)`` (real, FP64); ``d`` holds the
+    channel strengths (Hartree).  Projector columns are L2-normalised
+    on the mesh: ``integral |p_i|^2 dV = 1``.
+    """
+
+    p: np.ndarray
+    d: np.ndarray
+    mesh: Mesh
+
+    def __post_init__(self) -> None:
+        if self.p.ndim != 2:
+            raise ValueError(f"projector matrix must be 2-D, got {self.p.shape}")
+        if self.d.shape != (self.p.shape[1],):
+            raise ValueError(
+                f"couplings shape {self.d.shape} does not match {self.p.shape[1]} projectors"
+            )
+
+    @property
+    def n_proj(self) -> int:
+        return self.p.shape[1]
+
+    def apply(self, psi: np.ndarray) -> np.ndarray:
+        """``V_nl psi`` on the mesh (FP64 path used by QXMD/SCF)."""
+        # <p_i|psi_j> dV for all channels and orbitals.
+        overlaps = (self.p.T @ psi) * self.mesh.dv        # (N_proj, N_orb)
+        return self.p @ (self.d[:, None] * overlaps)
+
+    def subspace_matrix(self, psi: np.ndarray) -> np.ndarray:
+        """``<psi_i| V_nl |psi_j>`` — the dense N_orb x N_orb operator
+        DCMESH propagates with in the Kohn–Sham subspace (FP64)."""
+        overlaps = (self.p.T @ psi) * self.mesh.dv        # (N_proj, N_orb)
+        return overlaps.conj().T @ (self.d[:, None] * overlaps)
+
+
+def build_projectors(material: Material, mesh: Mesh) -> ProjectorSet:
+    """Build one normalised Gaussian projector per atom.
+
+    Uses minimum-image distances so projectors respect the periodic
+    box.  FP64 throughout — this is QXMD-side data.
+    """
+    n_atoms = material.n_atoms
+    p = np.empty((mesh.n_grid, n_atoms), dtype=np.float64)
+    d = np.empty(n_atoms)
+    for a, (spec, pos) in enumerate(zip(material.specs, material.positions)):
+        r = mesh.distances_to(pos)
+        col = np.exp(-0.5 * (r / spec.nl_sigma) ** 2)
+        norm = np.sqrt(np.sum(col**2) * mesh.dv)
+        if norm == 0:
+            raise ValueError(f"projector for atom {a} vanished on the mesh")
+        p[:, a] = col / norm
+        d[a] = spec.nl_strength
+    return ProjectorSet(p=p, d=d, mesh=mesh)

@@ -1,0 +1,244 @@
+"""QXMD phase: FP64 Self-Consistent-Field solver.
+
+"The QXMD portion of the code, which is run exclusively on CPU ...
+can only be run using FP64 precision as this represents a critical
+portion of the simulation wherein the wavefunction is initialized by
+the Self-Consistent Field (SCF) method."  (Section IV-C.)
+
+This module is that portion: a density-mixing SCF with a
+preconditioned block-steepest-descent eigensolver and Rayleigh–Ritz
+subspace rotation.  It runs strictly in FP64 and is *never* touched by
+the BLAS compute modes (oneMKL's ``FLOAT_TO_*`` modes only affect
+single-precision routines — mirrored in :mod:`repro.blas.gemm`).
+
+The Kohn–Sham-like functional keeps the pieces that matter to the
+dynamics study: ionic Gaussian wells, Hartree repulsion (spectral
+Poisson solve) and an LDA-exchange term.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dcmesh.hamiltonian import Hamiltonian, ionic_potential
+from repro.dcmesh.material import Material
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.projectors import ProjectorSet
+from repro.dcmesh.wavefunction import OrbitalSet
+
+__all__ = ["SCFParams", "SCFResult", "SCFSolver"]
+
+
+@dataclasses.dataclass
+class SCFParams:
+    """Knobs of the SCF loop."""
+
+    max_iter: int = 150           #: outer density iterations
+    inner_steps: int = 4          #: descent steps per outer iteration
+    mixing: float = 0.3           #: initial linear density mixing fraction
+    tol: float = 1e-7             #: relative band-energy convergence
+    use_hartree: bool = True
+    use_xc: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mixing <= 1:
+            raise ValueError(f"mixing must be in (0, 1], got {self.mixing}")
+        if self.max_iter < 1 or self.inner_steps < 1:
+            raise ValueError("max_iter and inner_steps must be >= 1")
+
+
+@dataclasses.dataclass
+class SCFResult:
+    """Converged (or best-effort) SCF state."""
+
+    orbitals: OrbitalSet           #: FP64 Kohn–Sham orbitals
+    eigenvalues: np.ndarray        #: Rayleigh–Ritz eigenvalues, Hartree
+    v_eff: np.ndarray              #: effective local potential on the mesh
+    density: np.ndarray            #: electron density
+    band_energy: float             #: sum_j f_j eps_j
+    n_iter: int
+    converged: bool
+    history: List[float]           #: band energy per outer iteration
+
+
+class SCFSolver:
+    """FP64 SCF driver for one material + mesh."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        material: Material,
+        projectors: Optional[ProjectorSet] = None,
+        params: Optional[SCFParams] = None,
+    ):
+        self.mesh = mesh
+        self.material = material
+        self.projectors = projectors
+        self.params = params or SCFParams()
+        self.v_ion = ionic_potential(material, mesh)
+        # Poisson kernel 4*pi/|G|^2 with the G=0 (net charge) term
+        # dropped — the usual neutralising-background convention.
+        k2 = mesh.k2.copy()
+        k2[k2 == 0] = np.inf
+        self._poisson_kernel = 4.0 * np.pi / k2
+
+    # ------------------------------------------------------------------
+    # Potentials.
+    # ------------------------------------------------------------------
+
+    def hartree_potential(self, density: np.ndarray) -> np.ndarray:
+        """Spectral Poisson solve: ``V_H(G) = 4 pi n(G) / G^2``."""
+        ng = self.mesh.fft(np.asarray(density, dtype=np.complex128))
+        vg = ng * self._poisson_kernel
+        return self.mesh.ifft(vg).real
+
+    @staticmethod
+    def xc_potential(density: np.ndarray) -> np.ndarray:
+        """LDA exchange: ``v_x = -(3 n / pi)^(1/3)``."""
+        n = np.clip(np.asarray(density, dtype=np.float64), 0.0, None)
+        return -np.cbrt(3.0 * n / np.pi)
+
+    def effective_potential(self, density: np.ndarray) -> np.ndarray:
+        """Ionic + Hartree + XC local potential."""
+        v = self.v_ion.copy()
+        if self.params.use_hartree:
+            v += self.hartree_potential(density)
+        if self.params.use_xc:
+            v += self.xc_potential(density)
+        return v
+
+    def refresh_ionic(self) -> None:
+        """Rebuild the ionic potential after atoms moved (MD step)."""
+        self.v_ion = ionic_potential(self.material, self.mesh)
+
+    # ------------------------------------------------------------------
+    # Eigensolver inner loop.
+    # ------------------------------------------------------------------
+
+    def _preconditioner(self, psig: np.ndarray, kinetic_scale: float) -> np.ndarray:
+        """Teter-style smoothing: damp high-|k| residual components."""
+        damp = 1.0 / (1.0 + self.mesh.k2 / max(kinetic_scale, 1e-3))
+        return psig * damp[:, None]
+
+    def _descend(self, orbitals: OrbitalSet, h: Hamiltonian) -> np.ndarray:
+        """Preconditioned steepest-descent sweeps + Rayleigh–Ritz.
+
+        Returns the Rayleigh–Ritz eigenvalues; rotates orbitals in
+        place to the Ritz vectors sorted by eigenvalue.
+        """
+        mesh = self.mesh
+        psi = orbitals.psi
+        for _ in range(self.params.inner_steps):
+            hpsi = h.apply(psi)
+            lam = np.real(np.sum(psi.conj() * hpsi, axis=0)) * mesh.dv
+            resid = hpsi - psi * lam[None, :]
+            rg = mesh.fft(resid)
+            rg = self._preconditioner(rg, kinetic_scale=2.0 * max(lam.max(), 1.0))
+            psi = psi - mesh.ifft(rg)
+            orbitals.psi = psi
+            orbitals.orthonormalize()
+            psi = orbitals.psi
+        # Rayleigh–Ritz rotation.
+        hsub = h.subspace(psi)
+        hsub = 0.5 * (hsub + hsub.conj().T)
+        vals, vecs = np.linalg.eigh(hsub)
+        orbitals.psi = psi @ vecs
+        return vals
+
+    # ------------------------------------------------------------------
+    # Outer SCF loop.
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        n_orb: int,
+        seed: int = 0,
+        initial: Optional[OrbitalSet] = None,
+    ) -> SCFResult:
+        """Converge the ground state with ``n_orb`` orbitals (FP64)."""
+        n_occ = self.material.n_occupied
+        if n_orb < n_occ:
+            raise ValueError(
+                f"n_orb={n_orb} cannot hold {self.material.n_electrons} electrons "
+                f"({n_occ} doubly-occupied orbitals needed)"
+            )
+        if initial is not None:
+            orbitals = OrbitalSet(
+                initial.psi.astype(np.complex128), initial.occupations.copy(), self.mesh
+            )
+        else:
+            orbitals = OrbitalSet.random(self.mesh, n_orb, n_occ, seed=seed)
+
+        density = orbitals.density()
+        history: List[float] = []
+        converged = False
+        vals = np.zeros(n_orb)
+        v_eff = self.effective_potential(density)
+        last_e = np.inf
+        last_delta = np.inf
+        mixing = self.params.mixing
+        it = 0
+        for it in range(1, self.params.max_iter + 1):
+            h = Hamiltonian(self.mesh, v_eff, self.projectors)
+            vals = self._descend(orbitals, h)
+            band_e = float(vals @ orbitals.occupations)
+            history.append(band_e)
+            new_density = orbitals.density()
+            density = (1.0 - mixing) * density + mixing * new_density
+            v_eff = self.effective_potential(density)
+            scale = max(abs(band_e), 1.0)
+            delta = abs(band_e - last_e) / scale
+            if delta < self.params.tol:
+                converged = True
+                break
+            # Adaptive damping: a growing energy change signals charge
+            # sloshing (a mixing limit cycle); back the mixing off.
+            if delta > last_delta:
+                mixing = max(0.05, 0.7 * mixing)
+            last_delta = delta
+            last_e = band_e
+
+        return SCFResult(
+            orbitals=orbitals,
+            eigenvalues=vals,
+            v_eff=v_eff,
+            density=density,
+            band_energy=history[-1],
+            n_iter=it,
+            converged=converged,
+            history=history,
+        )
+
+    def update(self, orbitals: OrbitalSet, n_iter: int = 4) -> SCFResult:
+        """Short FP64 re-convergence at an SCF block boundary.
+
+        This is the "execute SCF at FP64 to update the wave function"
+        step performed after every series of 500 QD steps: the shadow
+        orbitals are re-orthonormalised in FP64 and the potential is
+        refreshed for the (possibly moved) ions.  It intentionally does
+        *not* reset the state to the ground state — the excited
+        dynamics must survive.
+        """
+        work = OrbitalSet(
+            orbitals.psi.astype(np.complex128), orbitals.occupations.copy(), self.mesh
+        )
+        work.orthonormalize()
+        density = work.density()
+        v_eff = self.effective_potential(density)
+        h = Hamiltonian(self.mesh, v_eff, self.projectors)
+        hsub = h.subspace(work.psi)
+        hsub = 0.5 * (hsub + hsub.conj().T)
+        vals = np.linalg.eigvalsh(hsub)
+        return SCFResult(
+            orbitals=work,
+            eigenvalues=vals,
+            v_eff=v_eff,
+            density=density,
+            band_energy=float(np.sort(vals)[: work.n_occupied].sum() * 2.0),
+            n_iter=n_iter,
+            converged=True,
+            history=[],
+        )

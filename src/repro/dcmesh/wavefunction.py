@@ -1,0 +1,123 @@
+"""Kohn–Sham orbital sets: the ``N_grid x N_orb`` wavefunction matrix.
+
+This is the central data structure of the paper: "an N_grid x N_orb
+wave-function matrix, where N_grid and N_orb are the number of grid
+points to represent each wave function and that of KS wave functions".
+Columns are orbitals; normalisation is ``<psi_i|psi_j> dV = delta_ij``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dcmesh.mesh import Mesh
+from repro.types import Precision, complex_dtype
+
+__all__ = ["OrbitalSet"]
+
+
+class OrbitalSet:
+    """Orbitals plus occupations on a mesh."""
+
+    def __init__(self, psi: np.ndarray, occupations: np.ndarray, mesh: Mesh):
+        psi = np.asarray(psi)
+        occupations = np.asarray(occupations, dtype=np.float64)
+        if psi.ndim != 2:
+            raise ValueError(f"psi must be (N_grid, N_orb), got {psi.shape}")
+        if psi.shape[0] != mesh.n_grid:
+            raise ValueError(
+                f"psi has {psi.shape[0]} grid points, mesh has {mesh.n_grid}"
+            )
+        if occupations.shape != (psi.shape[1],):
+            raise ValueError(
+                f"occupations shape {occupations.shape} does not match "
+                f"{psi.shape[1]} orbitals"
+            )
+        if np.any(occupations < 0) or np.any(occupations > 2.0 + 1e-12):
+            raise ValueError("occupations must lie in [0, 2]")
+        self.psi = psi
+        self.occupations = occupations
+        self.mesh = mesh
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_orb(self) -> int:
+        return self.psi.shape[1]
+
+    @property
+    def n_electrons(self) -> float:
+        return float(self.occupations.sum())
+
+    @property
+    def n_occupied(self) -> int:
+        """Number of strictly-occupied orbitals (f > 0)."""
+        return int(np.count_nonzero(self.occupations > 0))
+
+    @classmethod
+    def random(
+        cls,
+        mesh: Mesh,
+        n_orb: int,
+        n_occupied: int,
+        seed: int = 0,
+        dtype=np.complex128,
+    ) -> "OrbitalSet":
+        """Random orthonormal start for SCF, deterministic under ``seed``."""
+        if not 0 <= n_occupied <= n_orb:
+            raise ValueError(f"n_occupied={n_occupied} out of range for n_orb={n_orb}")
+        rng = np.random.default_rng(seed)
+        raw = rng.standard_normal((mesh.n_grid, n_orb)) + 1j * rng.standard_normal(
+            (mesh.n_grid, n_orb)
+        )
+        f = np.zeros(n_orb)
+        f[:n_occupied] = 2.0
+        orb = cls(raw.astype(dtype), f, mesh)
+        orb.orthonormalize()
+        return orb
+
+    # ------------------------------------------------------------------
+
+    def overlap(self) -> np.ndarray:
+        """Gram matrix ``S_ij = <psi_i|psi_j>`` (FP64 accumulation)."""
+        psi64 = self.psi.astype(np.complex128, copy=False)
+        return (psi64.conj().T @ psi64) * self.mesh.dv
+
+    def orthonormalize(self) -> None:
+        """Löwdin (symmetric) orthonormalisation, in FP64.
+
+        This is the operation the QXMD phase performs on the shadow
+        wavefunction at every SCF block boundary; running it in FP64
+        is what bounds the truncation-error buildup the paper relies
+        on (Section V: "Updating the wavefunction with FP64 precision
+        prevents the buildup of truncation errors").
+        """
+        psi64 = self.psi.astype(np.complex128, copy=False)
+        s = (psi64.conj().T @ psi64) * self.mesh.dv
+        vals, vecs = np.linalg.eigh(s)
+        if vals.min() <= 0:
+            raise np.linalg.LinAlgError(
+                f"orbital set is numerically singular (min Gram eigenvalue {vals.min():.3e})"
+            )
+        s_inv_half = (vecs * (1.0 / np.sqrt(vals))) @ vecs.conj().T
+        out = psi64 @ s_inv_half
+        self.psi = out.astype(self.psi.dtype, copy=False)
+
+    def norms(self) -> np.ndarray:
+        """Per-orbital L2 norms (should all be 1 after orthonormalise)."""
+        return np.sqrt(np.sum(np.abs(self.psi) ** 2, axis=0) * self.mesh.dv)
+
+    def density(self) -> np.ndarray:
+        """Electron density ``n(r) = sum_j f_j |psi_j(r)|^2`` (FP64)."""
+        amp = np.abs(self.psi.astype(np.complex128, copy=False)) ** 2
+        return amp @ self.occupations
+
+    def astype(self, precision: Precision) -> "OrbitalSet":
+        """Copy at a different storage precision (FP64 <-> FP32)."""
+        dt = complex_dtype(precision)
+        return OrbitalSet(self.psi.astype(dt), self.occupations.copy(), self.mesh)
+
+    def copy(self) -> "OrbitalSet":
+        return OrbitalSet(self.psi.copy(), self.occupations.copy(), self.mesh)

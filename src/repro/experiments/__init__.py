@@ -1,0 +1,16 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every experiment exposes ``run(fast=True, output_dir=None) -> dict``
+returning the regenerated rows/series plus a rendered text block, and
+is registered under its paper id (``table1`` ... ``table7``,
+``figure1``, ``figure2``, ``figure3a``, ``figure3b``) in
+:mod:`repro.experiments.registry`.  The ``dcmesh-repro`` console
+script (``repro.experiments.runner``) runs them by id::
+
+    dcmesh-repro figure3a
+    dcmesh-repro all --output results/
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]

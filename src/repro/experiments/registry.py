@@ -1,0 +1,54 @@
+"""Experiment registry: paper artifact id -> runnable module."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    claims,
+    figure1,
+    figure2,
+    figure3a,
+    figure3b,
+    report,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+#: id -> (run callable, one-line description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (table1.run, "Theoretical peak throughput per precision (Table I)"),
+    "table2": (table2.run, "Available BLAS compute modes (Table II)"),
+    "table3": (table3.run, "Key simulation parameters (Table III)"),
+    "table4": (table4.run, "Precision format exponent/mantissa bits (Table IV)"),
+    "table5": (table5.run, "System sizes and HBM capacity (Table V)"),
+    "table6": (table6.run, "Max observed vs theoretical BLAS speedup (Table VI)"),
+    "table7": (table7.run, "remap_occ GEMM shapes vs N_orb (Table VII)"),
+    "figure1": (figure1.run, "Deviation from FP32 of nexc/javg/ekin (Fig. 1)"),
+    "figure2": (figure2.run, "log10 current-density deviation (Fig. 2)"),
+    "figure3a": (figure3a.run, "Time for 500 QD steps per config (Fig. 3a)"),
+    "figure3b": (figure3b.run, "BLAS speedup vs N_orb (Fig. 3b)"),
+    "report": (report.run, "All artifacts + anchor checks -> REPORT.md"),
+    "claims": (claims.run, "Paper-claims traceability matrix (live checks)"),
+}
+
+
+def get_experiment(name: str) -> Callable:
+    """Look up an experiment's run callable by id."""
+    try:
+        return EXPERIMENTS[name][0]
+    except KeyError:
+        valid = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; valid ids: {valid}") from None
+
+
+def run_experiment(name: str, fast: bool = True, output_dir: Optional[str] = None) -> dict:
+    """Run one experiment by id."""
+    return get_experiment(name)(fast=fast, output_dir=output_dir)

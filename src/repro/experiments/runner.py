@@ -1,0 +1,66 @@
+"""``dcmesh-repro`` console entry point.
+
+Usage::
+
+    dcmesh-repro list                    # show experiment ids
+    dcmesh-repro table6                  # run one experiment
+    dcmesh-repro all --output results/   # run everything, save CSVs
+    dcmesh-repro figure1 --full          # slower, larger accuracy run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dcmesh-repro",
+        description="Reproduce the tables and figures of 'Impact of Varying "
+        "BLAS Precision on DCMESH' (SC 2024).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (tableN / figureN), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--output", "-o", default=None, metavar="DIR",
+        help="directory for CSV outputs (created if missing)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the larger (slower) variant of simulation-backed experiments",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for name, (_, desc) in sorted(EXPERIMENTS.items()):
+            print(f"{name:<{width}}  {desc}")
+        return 0
+    if args.experiment == "all":
+        # "report" already runs everything; keep "all" to the artifacts.
+        names = sorted(n for n in EXPERIMENTS if n != "report")
+    else:
+        names = [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"valid ids: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    for name in names:
+        result = run_experiment(name, fast=not args.full, output_dir=args.output)
+        print(result["text"])
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Table I — theoretical peak throughput for a single Max 1550 stack."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.core.report import render_table, write_csv
+from repro.core.theoretical import table1_rows
+
+#: The values printed in the paper, for EXPERIMENTS.md comparison.
+PAPER_ROWS = [
+    ("FP64", 26.0, "TFLOP/s", "Vector"),
+    ("FP32", 26.0, "TFLOP/s", "Vector"),
+    ("TF32", 209.0, "TFLOP/s", "Matrix"),
+    ("BF16", 419.0, "TFLOP/s", "Matrix"),
+    ("FP16", 419.0, "TFLOP/s", "Matrix"),
+    ("INT8", 839.0, "TOP/s", "Matrix"),
+]
+
+HEADERS = ("Precision", "Theoretical Peak", "Unit", "Engines")
+
+
+def run(fast: bool = True, output_dir: Optional[str] = None) -> dict:
+    """Regenerate Table I from the device spec."""
+    rows = table1_rows()
+    text = render_table(HEADERS, rows, title="Table I: theoretical peak per stack")
+    if output_dir:
+        write_csv(Path(output_dir) / "table1.csv", HEADERS, rows)
+    return {"rows": rows, "paper_rows": PAPER_ROWS, "text": text}
+
+
+if __name__ == "__main__":
+    print(run()["text"])

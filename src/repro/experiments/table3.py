@@ -1,0 +1,38 @@
+"""Table III — key simulation parameters (from the input files)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.core.report import render_table, write_csv
+from repro.core.theoretical import table3_rows
+from repro.dcmesh.simulation import SimulationConfig
+
+PAPER_ROWS = [
+    ("Timestep (a.u.)", 0.02),
+    ("Total Number of QD Steps", 21_000),
+    ("Total Simulation Time (fs)", 10.0),
+]
+
+HEADERS = ("Simulation Variable", "Value")
+
+
+def run(fast: bool = True, output_dir: Optional[str] = None) -> dict:
+    """Regenerate Table III, cross-checked against the 135-atom config."""
+    rows = table3_rows()
+    cfg = SimulationConfig.paper_135()
+    derived = [
+        ("Timestep (a.u.)", cfg.dt),
+        ("Total Number of QD Steps", cfg.n_qd_steps),
+        # 21 000 x 0.02 a.u. = 10.16 fs; the paper quotes the nominal 10.
+        ("Total Simulation Time (fs)", float(round(cfg.total_time_fs))),
+    ]
+    text = render_table(HEADERS, rows, title="Table III: key simulation parameters")
+    if output_dir:
+        write_csv(Path(output_dir) / "table3.csv", HEADERS, rows)
+    return {"rows": rows, "derived_from_config": derived, "paper_rows": PAPER_ROWS, "text": text}
+
+
+if __name__ == "__main__":
+    print(run()["text"])

@@ -1,0 +1,31 @@
+"""Table IV — exponent and mantissa bits per precision format."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.core.report import render_table, write_csv
+from repro.core.theoretical import table4_rows
+
+PAPER_ROWS = [
+    ("FP64", 11, 52),
+    ("FP32", 8, 23),
+    ("TF32", 8, 10),
+    ("BF16", 8, 7),
+]
+
+HEADERS = ("Precision", "Exponent Bits", "Mantissa Bits")
+
+
+def run(fast: bool = True, output_dir: Optional[str] = None) -> dict:
+    """Regenerate Table IV from the format definitions."""
+    rows = table4_rows()
+    text = render_table(HEADERS, rows, title="Table IV: precision formats")
+    if output_dir:
+        write_csv(Path(output_dir) / "table4.csv", HEADERS, rows)
+    return {"rows": rows, "paper_rows": PAPER_ROWS, "text": text}
+
+
+if __name__ == "__main__":
+    print(run()["text"])

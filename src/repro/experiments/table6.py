@@ -1,0 +1,35 @@
+"""Table VI — max observed vs peak theoretical BLAS speedup per mode.
+
+The paper's anchor: 3.91x maximum observed for BF16 against a 16x
+theoretical peak, the gap attributed to the bandwidth-starved
+``m = 128`` dimension and power limits — both of which the device
+model represents explicitly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.core.blas_sweep import BlasSweep
+from repro.core.report import render_table, write_csv
+
+#: The one observed value quoted in the paper's text (Table VI's body
+#: is illegible in the source we have): BF16's 3.91x vs 16x peak.
+PAPER_ANCHORS = {"FLOAT_TO_BF16": (3.91, 16.0)}
+
+HEADERS = ("Compute Mode", "Max Observed Speedup", "Peak Theoretical Speedup")
+
+
+def run(fast: bool = True, output_dir: Optional[str] = None) -> dict:
+    """Regenerate Table VI on the device model."""
+    sweep = BlasSweep()
+    rows = sweep.table6()
+    text = render_table(HEADERS, rows, title="Table VI: observed vs theoretical BLAS speedup")
+    if output_dir:
+        write_csv(Path(output_dir) / "table6.csv", HEADERS, rows)
+    return {"rows": rows, "paper_anchors": PAPER_ANCHORS, "text": text}
+
+
+if __name__ == "__main__":
+    print(run()["text"])

@@ -1,0 +1,196 @@
+"""Per-mode GEMM cost model for the Max 1550 stack.
+
+A logical BLAS call is lowered to the same internal structure the
+software emulation (and oneMKL) uses:
+
+* real standard GEMM          -> 1 component product at FP32/FP64;
+* complex standard (4M)       -> 4 real component products;
+* ``COMPLEX_3M``              -> 3 real component products plus
+  pointwise add passes;
+* ``FLOAT_TO_{BF16,TF32}[Xn]``-> a conversion pass (FP32 -> n
+  reduced-precision component copies of A and B) followed by
+  ``n(n+1)/2`` component products on the matrix engines with FP32
+  accumulation; complex composes this with 4M.
+
+Each stage gets a flops/bytes estimate; the roofline (sustained
+throughput under the power derate, achievable HBM bandwidth, tile
+efficiency for narrow GEMMs) converts it to seconds.  This reproduces
+the paper's two headline performance facts by construction rather than
+by fiat:
+
+* large-``n`` BF16 GEMMs saturate at ~4x, not 16x, because the
+  ``m = 128`` remap_occ shape leaves them bandwidth-bound (Table VI);
+* small problems show no mode spread at all because launch overhead
+  and bandwidth dominate (Fig. 3a, 40-atom system).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.blas.modes import ComputeMode
+from repro.gpu.roofline import RooflinePoint, roofline_time
+from repro.gpu.specs import DeviceSpec, MAX_1550_STACK
+from repro.types import Precision
+
+__all__ = ["GemmCost", "GemmModel", "ROUTINE_INFO"]
+
+#: routine -> (is_complex, real element bytes, storage precision)
+ROUTINE_INFO: Dict[str, tuple] = {
+    "sgemm": (False, 4, Precision.FP32),
+    "dgemm": (False, 8, Precision.FP64),
+    "cgemm": (True, 4, Precision.FP32),
+    "zgemm": (True, 8, Precision.FP64),
+}
+
+#: bytes per element of each reduced component format in memory.
+_COMPONENT_BYTES = {Precision.BF16: 2, Precision.TF32: 4}
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmCost:
+    """Fully resolved cost of one logical GEMM."""
+
+    routine: str
+    m: int
+    n: int
+    k: int
+    mode: ComputeMode
+    multiply_precision: Precision   #: format of the multiply stage
+    n_component_products: int       #: real products actually executed
+    point: RooflinePoint            #: roofline resolution
+
+    @property
+    def seconds(self) -> float:
+        return self.point.seconds
+
+    @property
+    def bound(self) -> str:
+        return self.point.bound
+
+
+class GemmModel:
+    """Maps (routine, m, n, k, mode) to modelled execution time."""
+
+    #: Fraction of a full operand stream charged for each component
+    #: product beyond the first (cache-reuse model; calibrated against
+    #: the paper's 3.91x BF16 anchor and the Fig. 3a mode ordering).
+    cross_product_restream = 0.10
+
+    def __init__(self, spec: DeviceSpec = MAX_1550_STACK):
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+
+    def effective_mode(self, routine: str, mode: ComputeMode) -> ComputeMode:
+        """Mode actually honoured for this routine (mirrors the BLAS layer)."""
+        is_complex, _, storage = ROUTINE_INFO[routine]
+        if mode.is_low_precision and storage is not Precision.FP32:
+            return ComputeMode.STANDARD      # FLOAT_TO_* is single-only
+        if mode.uses_3m and not is_complex:
+            return ComputeMode.STANDARD      # 3M is complex-only
+        return mode
+
+    def cost(self, routine: str, m: int, n: int, k: int, mode: ComputeMode) -> GemmCost:
+        """Resolve the modelled cost of one logical GEMM call."""
+        if routine not in ROUTINE_INFO:
+            raise ValueError(f"unknown routine {routine!r}; known: {sorted(ROUTINE_INFO)}")
+        if min(m, n, k) <= 0:
+            raise ValueError(f"GEMM dims must be positive, got m={m} n={n} k={k}")
+        is_complex, elem, storage = ROUTINE_INFO[routine]
+        mode = self.effective_mode(routine, mode)
+
+        # --- component structure ---------------------------------------
+        complex_factor = 1
+        if is_complex:
+            complex_factor = 3 if mode.uses_3m else 4
+        if mode.is_low_precision:
+            n_products = complex_factor * mode.n_component_products
+            mult_precision = mode.component_precision
+            comp_bytes = _COMPONENT_BYTES[mult_precision]
+            n_terms = mode.n_terms
+        else:
+            n_products = complex_factor
+            mult_precision = storage
+            comp_bytes = elem
+            n_terms = 1
+
+        # --- flops -------------------------------------------------------
+        # Each real component product is 2*m*n*k flops (multiply+add).
+        flops = 2.0 * m * n * k * n_products
+
+        # --- memory traffic ----------------------------------------------
+        # Real-part matrices: a complex operand is two real matrices.
+        parts = 2 if is_complex else 1
+        a_elems = m * k * parts
+        b_elems = k * n * parts
+        c_elems = m * n * parts
+
+        traffic = 0.0
+        n_kernels = n_products
+        operand_elems = a_elems + b_elems
+        if mode.is_low_precision:
+            # Conversion pass: read FP32 operands once, write n_terms
+            # component copies of each.
+            traffic += operand_elems * elem
+            traffic += operand_elems * n_terms * comp_bytes
+            n_kernels += 2  # the two conversion kernels
+            # Multiply stage: each component copy is streamed at least
+            # once; the cross products beyond the first n_terms reuse
+            # panels already resident in cache most of the time, so
+            # they add only a calibrated fraction of a full stream.
+            reuse = n_terms + self.cross_product_restream * (n_products - n_terms)
+            traffic += operand_elems * comp_bytes * reuse
+        else:
+            # A native kernel streams each (real-part) operand once;
+            # extra real products of a 4M/3M complex multiply mostly
+            # re-touch cached panels.
+            base = parts  # one stream per real-part matrix
+            reuse = base + self.cross_product_restream * (n_products - base)
+            traffic += (m * k + k * n) * elem * reuse
+        if mode.uses_3m and is_complex:
+            # Forming (Ar+Ai) and (Br+Bi): read both parts, write sum;
+            # recombining outputs: three m*n add passes.
+            traffic += (a_elems + b_elems) * elem * 1.5
+            traffic += 3 * m * n * elem
+            n_kernels += 2
+        # Result write-back (FP32/FP64 storage), once.
+        traffic += c_elems * elem
+
+        # --- roofline ------------------------------------------------------
+        # Achievable rate is the smaller of what the tile shape can
+        # feed (utilisation) and what the power envelope sustains: a
+        # fat GEMM saturates the power cap, a narrow one never fills
+        # the engines.  Section V-C names exactly these two limits.
+        engine = self.spec.engine_for(mult_precision)
+        eff = self.spec.tile_efficiency(m, n, k, engine)
+        cap = self.spec.power_derate[mult_precision]
+        rate = self.spec.peak(mult_precision) * min(eff, cap)
+        point = roofline_time(
+            flops=flops,
+            bytes_moved=traffic,
+            sustained_flops=rate,
+            bandwidth=self.spec.effective_bandwidth(),
+            overhead=self.spec.kernel_launch_overhead * n_kernels,
+        )
+        return GemmCost(
+            routine=routine,
+            m=m,
+            n=n,
+            k=k,
+            mode=mode,
+            multiply_precision=mult_precision,
+            n_component_products=n_products,
+            point=point,
+        )
+
+    def seconds(self, routine: str, m: int, n: int, k: int, mode: ComputeMode) -> float:
+        """Convenience: modelled wall time of the call."""
+        return self.cost(routine, m, n, k, mode).seconds
+
+    def speedup_vs_fp32(self, routine: str, m: int, n: int, k: int, mode: ComputeMode) -> float:
+        """Speedup of ``mode`` over the STANDARD run of the same call."""
+        base = self.seconds(routine, m, n, k, ComputeMode.STANDARD)
+        alt = self.seconds(routine, m, n, k, mode)
+        return base / alt

@@ -1,0 +1,151 @@
+"""Multi-stack / multi-node scaling model — the paper's future work.
+
+"Furthermore, we would like to continue our work with DCMESH in the
+analysis of how alternative BLAS precision modes impact accuracy and
+performance in multi-stack and multi-node runs."  (Section VI.)
+
+The model distributes the LFD work over ``n_stacks`` by splitting the
+orbital dimension (the natural DCMESH decomposition: each stack owns a
+block of KS orbitals) and adds the two communication terms that
+decomposition creates:
+
+* the subspace overlap ``S = Psi0^H Psi`` needs an all-reduce of an
+  ``N_orb x N_orb`` block per BLASified function, over Xe Link
+  (intra-GPU / MDFI) or the node fabric;
+* block-boundary SCF updates ship the full orbital slab.
+
+The interesting precision interaction this exposes: communication
+volume is *mode-independent*, so the faster the compute mode, the
+earlier communication bounds scaling — BF16 saturates at fewer stacks
+than FP32.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.blas.modes import ComputeMode
+from repro.core.schedule import psi_bytes, qd_step_schedule
+from repro.gpu.gemm_model import GemmModel
+from repro.gpu.specs import DeviceSpec, MAX_1550_STACK
+from repro.types import Precision
+
+__all__ = ["LinkSpec", "MultiStackModel", "ScalingPoint", "XE_LINK", "NODE_FABRIC"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkSpec:
+    """Interconnect between stacks."""
+
+    name: str
+    bandwidth: float     #: bytes/s per direction
+    latency: float       #: seconds per message
+
+
+#: In-package Xe Link between the two stacks of one Max 1550.
+XE_LINK = LinkSpec(name="Xe Link (intra-card)", bandwidth=300e9, latency=2e-6)
+
+#: Cross-node HPC fabric (e.g. Slingshot-class).
+NODE_FABRIC = LinkSpec(name="node fabric", bandwidth=25e9, latency=10e-6)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingPoint:
+    """One (n_stacks, mode) evaluation."""
+
+    n_stacks: int
+    mode: ComputeMode
+    compute_seconds: float      #: per-stack compute per QD step
+    comm_seconds: float         #: communication per QD step
+    step_seconds: float
+    speedup: float              #: vs the same mode on one stack
+    efficiency: float           #: speedup / n_stacks
+
+
+class MultiStackModel:
+    """Scales the QD-step schedule across stacks."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec = MAX_1550_STACK,
+        link: LinkSpec = XE_LINK,
+    ):
+        self.spec = spec
+        self.link = link
+        self.model = GemmModel(spec)
+
+    def step_seconds(
+        self,
+        n_grid: int,
+        n_orb: int,
+        n_occ: int,
+        mode: ComputeMode,
+        n_stacks: int,
+        storage: Precision = Precision.FP32,
+    ) -> ScalingPoint:
+        """Modelled QD-step time on ``n_stacks`` stacks."""
+        if n_stacks < 1:
+            raise ValueError(f"n_stacks must be >= 1, got {n_stacks}")
+        if n_orb % n_stacks:
+            raise ValueError(
+                f"n_orb={n_orb} must divide evenly over {n_stacks} stacks"
+            )
+        local_orb = n_orb // n_stacks
+        local_occ = max(1, n_occ // n_stacks)
+        gemms, streams = qd_step_schedule(n_grid, n_orb, n_occ, storage)
+
+        # Each stack executes the schedule on its orbital block: with a
+        # column (orbital) distribution of Psi, every GEMM keeps its m
+        # and k and computes a 1/p slice of the n dimension — work
+        # scales linearly, never superlinearly.
+        compute = 0.0
+        for g in gemms:
+            n = max(1, g.n // n_stacks)
+            compute += self.model.seconds(g.routine, g.m, n, g.k, mode)
+        buf = psi_bytes(n_grid, local_orb, storage)
+        rate = self.spec.stream_rate(buf)
+        compute += sum(
+            s.passes * buf / rate + self.spec.kernel_launch_overhead
+            for s in streams
+        )
+
+        # Communication: three subspace all-reduces per step (one per
+        # BLASified function) of an N_orb x N_orb complex block, ring
+        # style: 2 (p-1)/p of the volume over the link.
+        elem = 8 if storage is Precision.FP32 else 16
+        block_bytes = n_orb * n_orb * elem
+        comm = 0.0
+        if n_stacks > 1:
+            volume = 2.0 * (n_stacks - 1) / n_stacks * block_bytes
+            per_reduce = volume / self.link.bandwidth + 2 * self.link.latency
+            comm = 3.0 * per_reduce
+
+        step = compute + comm
+        single = self.step_seconds(
+            n_grid, n_orb, n_occ, mode, 1, storage
+        ).step_seconds if n_stacks > 1 else step
+        speedup = single / step
+        return ScalingPoint(
+            n_stacks=n_stacks,
+            mode=mode,
+            compute_seconds=compute,
+            comm_seconds=comm,
+            step_seconds=step,
+            speedup=speedup,
+            efficiency=speedup / n_stacks,
+        )
+
+    def scaling_curve(
+        self,
+        n_grid: int,
+        n_orb: int,
+        n_occ: int,
+        mode: ComputeMode,
+        stack_counts=(1, 2, 4, 8),
+    ) -> List[ScalingPoint]:
+        """Strong-scaling curve for one mode."""
+        return [
+            self.step_seconds(n_grid, n_orb, n_occ, mode, p)
+            for p in stack_counts
+        ]

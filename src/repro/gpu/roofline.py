@@ -1,0 +1,63 @@
+"""Generic roofline timing: a kernel is compute- or bandwidth-bound.
+
+The paper explains its observed-vs-theoretical speedup gap (Table VI)
+with exactly this model: "memory and cache bandwidth limitations and
+power limitations".  We express a kernel as (flops, bytes) and take
+``time = max(flops / sustained_flops, bytes / bandwidth) + overhead``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["RooflinePoint", "roofline_time"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    """Resolved timing of one kernel under the roofline model."""
+
+    flops: float
+    bytes: float
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        """Wall time: slower of the two limits, plus fixed overhead."""
+        return max(self.compute_seconds, self.memory_seconds) + self.overhead_seconds
+
+    @property
+    def bound(self) -> str:
+        """Which limit dominates: 'compute', 'memory' or 'launch'."""
+        body = max(self.compute_seconds, self.memory_seconds)
+        if self.overhead_seconds > body:
+            return "launch"
+        return "compute" if self.compute_seconds >= self.memory_seconds else "memory"
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of memory traffic."""
+        return self.flops / self.bytes if self.bytes else float("inf")
+
+
+def roofline_time(
+    flops: float,
+    bytes_moved: float,
+    sustained_flops: float,
+    bandwidth: float,
+    overhead: float = 0.0,
+) -> RooflinePoint:
+    """Build a :class:`RooflinePoint` from raw kernel characteristics."""
+    if flops < 0 or bytes_moved < 0:
+        raise ValueError("flops and bytes must be non-negative")
+    if sustained_flops <= 0 or bandwidth <= 0:
+        raise ValueError("sustained_flops and bandwidth must be positive")
+    return RooflinePoint(
+        flops=flops,
+        bytes=bytes_moved,
+        compute_seconds=flops / sustained_flops,
+        memory_seconds=bytes_moved / bandwidth,
+        overhead_seconds=overhead,
+    )

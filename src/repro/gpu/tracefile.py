@@ -1,0 +1,53 @@
+"""Chrome-trace export of the modelled device timeline.
+
+unitrace can emit Chrome/Perfetto-compatible traces; so can we.  The
+output is the standard Trace Event JSON array (``ph: "X"`` complete
+events, microsecond timestamps), with one row per kernel kind so the
+BLAS / app / copy streams separate visually.  Open in
+``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.gpu.timeline import Timeline
+
+__all__ = ["timeline_to_trace_events", "write_chrome_trace"]
+
+PathLike = Union[str, Path]
+
+#: Stable tid per kernel kind so each category gets its own lane.
+_KIND_LANES = {"blas": 1, "app": 2, "copy": 3}
+
+
+def timeline_to_trace_events(timeline: Timeline, pid: int = 1) -> list:
+    """Convert a timeline to Trace Event dicts (``ph: "X"``)."""
+    events = []
+    for e in timeline.events:
+        events.append(
+            {
+                "name": e.name,
+                "cat": e.kind or "kernel",
+                "ph": "X",
+                "ts": e.start * 1e6,        # microseconds
+                "dur": e.duration * 1e6,
+                "pid": pid,
+                "tid": _KIND_LANES.get(e.kind, 0),
+                "args": {"site": e.site} if e.site else {},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path: PathLike, timeline: Timeline, pid: int = 1) -> None:
+    """Write the timeline as a Chrome-trace JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "traceEvents": timeline_to_trace_events(timeline, pid=pid),
+        "displayTimeUnit": "ms",
+    }
+    path.write_text(json.dumps(payload))

@@ -1,0 +1,64 @@
+"""unitrace-style reporting over a modelled device timeline.
+
+The artifact's performance recipe is: run 500 QD steps under
+``unitrace -k`` and read the *Total L0 Time* off the top of the
+report, then compare across compute modes (Fig. 3a).  This module
+renders the same report from a :class:`repro.gpu.Timeline`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.gpu.timeline import Timeline
+
+__all__ = ["UnitraceReport", "unitrace_report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitraceReport:
+    """Aggregated kernel-time view of one run."""
+
+    total_l0_seconds: float
+    by_kernel: Dict[str, float]       #: seconds per kernel name
+    by_kind: Dict[str, float]         #: seconds per category (blas/app/copy)
+    by_site: Dict[str, float]         #: seconds per application call site
+    n_kernels: int
+
+    def top_kernels(self, n: int = 10) -> List[Tuple[str, float]]:
+        """Kernel names sorted by total device time, descending."""
+        return sorted(self.by_kernel.items(), key=lambda kv: -kv[1])[:n]
+
+    def blas_fraction(self) -> float:
+        """Share of device time spent in BLAS kernels."""
+        if self.total_l0_seconds == 0:
+            return 0.0
+        return self.by_kind.get("blas", 0.0) / self.total_l0_seconds
+
+    def render(self) -> str:
+        """Human-readable report in unitrace's spirit."""
+        lines = [
+            f"Total L0 Time: {self.total_l0_seconds * 1e9:.0f} ns "
+            f"({self.total_l0_seconds:.6f} s), {self.n_kernels} kernels",
+            "",
+            f"{'Kernel':<24s} {'Time (s)':>12s} {'Share':>8s}",
+        ]
+        for name, secs in self.top_kernels(n=len(self.by_kernel)):
+            share = secs / self.total_l0_seconds if self.total_l0_seconds else 0.0
+            lines.append(f"{name:<24s} {secs:>12.6f} {share:>7.1%}")
+        lines.append("")
+        for kind, secs in sorted(self.by_kind.items(), key=lambda kv: -kv[1]):
+            lines.append(f"kind:{kind:<19s} {secs:>12.6f}")
+        return "\n".join(lines)
+
+
+def unitrace_report(timeline: Timeline) -> UnitraceReport:
+    """Build a report from a device timeline."""
+    return UnitraceReport(
+        total_l0_seconds=timeline.total_l0_time(),
+        by_kernel=timeline.time_by_name(),
+        by_kind=timeline.time_by_kind(),
+        by_site=timeline.time_by_site(),
+        n_kernels=len(timeline),
+    )

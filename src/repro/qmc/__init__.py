@@ -1,0 +1,40 @@
+"""Mini projection-QMC workload — the paper's "other HPC workloads".
+
+The abstract closes: "the approach we demonstrate here could be
+readily applied to other High Performance Computing (HPC) workloads
+that spend a significant amount of time in BLAS calls", and the future
+work names QMCPACK.  This subpackage is that demonstration: a
+self-contained imaginary-time projection QMC (the BLAS-dominated core
+of AFQMC-style methods) whose inner loop is nothing but GEMMs —
+
+    Phi <- B Phi            (M x M  @  M x N propagation GEMM)
+    S = Phi0^H Phi          (overlap GEMM)
+    re-orthonormalise every few steps (QR)
+
+run through :mod:`repro.blas`, so flipping ``MKL_BLAS_COMPUTE_MODE``
+studies the precision/performance trade-off on a *second* application
+with zero code change — exactly the portability claim.
+
+Because the model Hamiltonian is one-body, the projection is exact:
+the energy converges to the sum of the lowest ``N`` eigenvalues, which
+gives the accuracy study a closed-form ground truth the DCMESH study
+lacks.
+"""
+
+from repro.qmc.lattice import LatticeHamiltonian, tight_binding_hamiltonian
+from repro.qmc.projection import (
+    ProjectionResult,
+    ProjectionQMC,
+    exact_ground_state_energy,
+)
+from repro.qmc.study import QMCStudyRow, qmc_mode_study
+
+__all__ = [
+    "LatticeHamiltonian",
+    "tight_binding_hamiltonian",
+    "ProjectionResult",
+    "ProjectionQMC",
+    "exact_ground_state_energy",
+    "QMCStudyRow",
+    "qmc_mode_study",
+]

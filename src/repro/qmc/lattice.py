@@ -1,0 +1,107 @@
+"""One-body lattice Hamiltonians for the QMC workload.
+
+A periodic cubic tight-binding model: hopping ``-t`` between nearest
+neighbours plus site energies.  The site energies can be uniform,
+seeded-random (an Anderson-type model) or sampled from the DCMESH
+ionic potential, tying the two applications to the same material.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["LatticeHamiltonian", "tight_binding_hamiltonian"]
+
+
+@dataclasses.dataclass
+class LatticeHamiltonian:
+    """Dense one-body Hamiltonian on an ``(nx, ny, nz)`` periodic lattice."""
+
+    matrix: np.ndarray          #: (M, M) real symmetric
+    shape: Tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        m = self.matrix
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ValueError(f"Hamiltonian must be square, got {m.shape}")
+        if m.shape[0] != int(np.prod(self.shape)):
+            raise ValueError(
+                f"matrix size {m.shape[0]} does not match lattice {self.shape}"
+            )
+        asym = np.abs(m - m.T).max()
+        if asym > 1e-10 * max(np.abs(m).max(), 1.0):
+            raise ValueError(f"Hamiltonian not symmetric (asymmetry {asym:.2e})")
+
+    @property
+    def n_sites(self) -> int:
+        return self.matrix.shape[0]
+
+    def eigenvalues(self) -> np.ndarray:
+        """Sorted one-body spectrum (exact diagonalisation)."""
+        return np.linalg.eigvalsh(self.matrix)
+
+    def propagator(self, tau: float) -> np.ndarray:
+        """Imaginary-time step ``B = exp(-tau H)`` (dense, FP64)."""
+        vals, vecs = np.linalg.eigh(self.matrix)
+        return (vecs * np.exp(-tau * vals)) @ vecs.T
+
+
+def tight_binding_hamiltonian(
+    shape: Tuple[int, int, int] = (4, 4, 4),
+    hopping: float = 1.0,
+    site_energies: Optional[np.ndarray] = None,
+    disorder: float = 0.0,
+    seed: int = 0,
+) -> LatticeHamiltonian:
+    """Periodic nearest-neighbour tight binding with optional disorder.
+
+    Parameters
+    ----------
+    shape:
+        Lattice dimensions; the Hamiltonian is dense ``M x M`` with
+        ``M = nx * ny * nz``.
+    hopping:
+        Nearest-neighbour amplitude ``t`` (H carries ``-t``).
+    site_energies:
+        Explicit diagonal, length ``M``; overrides ``disorder``.
+    disorder:
+        Uniform random site energies in ``[-disorder, disorder]``
+        (deterministic under ``seed``).
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != 3 or any(s < 1 for s in shape):
+        raise ValueError(f"shape must be three positive ints, got {shape}")
+    nx, ny, nz = shape
+    m = nx * ny * nz
+    h = np.zeros((m, m))
+
+    def idx(i, j, k):
+        return (i % nx) * ny * nz + (j % ny) * nz + (k % nz)
+
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                a = idx(i, j, k)
+                for b in (idx(i + 1, j, k), idx(i, j + 1, k), idx(i, j, k + 1)):
+                    # Periodic wrap can make a == b (dimension of size 1)
+                    # or double-count (size 2); accumulate symmetric terms.
+                    if a != b:
+                        h[a, b] -= hopping
+                        h[b, a] -= hopping
+    # De-duplicate double counting from size-2 dimensions.
+    np.clip(h, -2 * hopping, 0.0, out=h)
+
+    if site_energies is not None:
+        site_energies = np.asarray(site_energies, dtype=np.float64)
+        if site_energies.shape != (m,):
+            raise ValueError(
+                f"site_energies must have length {m}, got {site_energies.shape}"
+            )
+        h[np.diag_indices(m)] = site_energies
+    elif disorder > 0:
+        rng = np.random.default_rng(seed)
+        h[np.diag_indices(m)] = rng.uniform(-disorder, disorder, m)
+    return LatticeHamiltonian(matrix=h, shape=shape)

@@ -1,0 +1,119 @@
+"""Integration: checkpoint/restart reproduces the uninterrupted run bitwise."""
+
+import numpy as np
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.dcmesh.io.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from repro.dcmesh.simulation import Simulation, SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def sim():
+    cfg = SimulationConfig.small_test(
+        mesh_shape=(10, 10, 10), n_orb=20, n_qd_steps=40, nscf=10
+    )
+    s = Simulation(cfg)
+    s.setup()
+    return s
+
+
+class TestCheckpointFile:
+    def test_roundtrip(self, sim, tmp_path):
+        path = tmp_path / "state.npz"
+        result = sim.run(mode="STANDARD", checkpoint_path=path)
+        ckpt = load_checkpoint(path)
+        # Last interior boundary of a 40-step/10-block run is step 30.
+        assert ckpt.step == 30
+        assert ckpt.psi.dtype == np.complex128
+        assert ckpt.psi0.dtype == np.complex64
+        ckpt.validate_against(sim.config)
+
+    def test_save_load_all_fields(self, tmp_path, rng):
+        ckpt = Checkpoint(
+            step=10,
+            psi=rng.standard_normal((8, 2)).astype(np.complex128),
+            psi0=rng.standard_normal((8, 2)).astype(np.complex64),
+            occupations=np.array([2.0, 0.0]),
+            positions=rng.uniform(0, 5, (3, 3)),
+            velocities=rng.standard_normal((3, 3)) * 1e-4,
+            etot0=-12.5,
+            field_a=0.01,
+            field_a_dot=-0.02,
+            field_last_j=3e-5,
+            ion_forces=rng.standard_normal((3, 3)),
+        )
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, ckpt)
+        back = load_checkpoint(path)
+        np.testing.assert_array_equal(back.psi, ckpt.psi)
+        np.testing.assert_array_equal(back.ion_forces, ckpt.ion_forces)
+        assert back.etot0 == ckpt.etot0
+        assert back.field_a_dot == ckpt.field_a_dot
+
+    def test_none_ion_forces_roundtrip(self, tmp_path, rng):
+        ckpt = Checkpoint(
+            step=0, psi=np.zeros((4, 1), np.complex128),
+            psi0=np.zeros((4, 1), np.complex64),
+            occupations=np.array([2.0]), positions=np.zeros((1, 3)),
+            velocities=np.zeros((1, 3)), etot0=0.0,
+        )
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, ckpt)
+        assert load_checkpoint(path).ion_forces is None
+
+    def test_validate_rejects_mismatches(self, sim, tmp_path):
+        path = tmp_path / "state.npz"
+        sim.run(mode="STANDARD", checkpoint_path=path)
+        ckpt = load_checkpoint(path)
+        bad_cfg = SimulationConfig.small_test(
+            mesh_shape=(10, 10, 10), n_orb=22, n_qd_steps=40, nscf=10
+        )
+        with pytest.raises(ValueError, match="psi shape"):
+            ckpt.validate_against(bad_cfg)
+        off_boundary = SimulationConfig.small_test(
+            mesh_shape=(10, 10, 10), n_orb=20, n_qd_steps=40, nscf=7
+        )
+        with pytest.raises(ValueError, match="block boundary"):
+            ckpt.validate_against(off_boundary)
+
+
+class TestBitwiseResume:
+    @pytest.mark.parametrize("mode", ["STANDARD", "FLOAT_TO_BF16"])
+    def test_resume_matches_uninterrupted(self, sim, tmp_path, mode):
+        path = tmp_path / f"{mode}.npz"
+        full = sim.run(mode=mode, checkpoint_path=path)
+        ckpt = load_checkpoint(path)
+        resumed = sim.run(mode=mode, resume_from=ckpt)
+        # The resumed records cover steps 31..40; compare against the
+        # same tail of the uninterrupted run, bit for bit.
+        tail = full.records[-len(resumed.records):]
+        assert [r.step for r in resumed.records] == [r.step for r in tail]
+        for a, b in zip(resumed.records, tail):
+            assert a == b
+
+    def test_resume_final_state_identical(self, sim, tmp_path):
+        path = tmp_path / "s.npz"
+        full = sim.run(mode="FLOAT_TO_TF32", checkpoint_path=path)
+        resumed = sim.run(mode="FLOAT_TO_TF32", resume_from=load_checkpoint(path))
+        np.testing.assert_array_equal(full.final_psi, resumed.final_psi)
+
+    def test_resume_with_induced_field(self, tmp_path):
+        cfg = SimulationConfig.small_test(
+            mesh_shape=(10, 10, 10), n_orb=20, n_qd_steps=20, nscf=10,
+            induced_field=True,
+        )
+        sim2 = Simulation(cfg)
+        sim2.setup()
+        path = tmp_path / "f.npz"
+        full = sim2.run(mode="STANDARD", checkpoint_path=path)
+        resumed = sim2.run(mode="STANDARD", resume_from=path)
+        tail = full.records[-len(resumed.records):]
+        for a, b in zip(resumed.records, tail):
+            assert a == b
+
+    def test_resume_past_end_rejected(self, sim, tmp_path):
+        path = tmp_path / "s.npz"
+        sim.run(mode="STANDARD", checkpoint_path=path)
+        with pytest.raises(ValueError, match="not before"):
+            sim.run(mode="STANDARD", resume_from=load_checkpoint(path), n_steps=30)

@@ -1,0 +1,41 @@
+"""Integration: discretisation-convergence QA."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import mesh_convergence, orbital_convergence
+from repro.dcmesh.scf import SCFParams
+
+
+@pytest.mark.slow
+class TestMeshConvergence:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return mesh_convergence(
+            mesh_sizes=(8, 10, 12),
+            scf_params=SCFParams(max_iter=120, tol=1e-7),
+        )
+
+    def test_row_structure(self, rows):
+        assert [r[0] for r in rows] == [8, 10, 12]
+        assert np.isnan(rows[0][2])
+        assert all(np.isfinite(r[1]) for r in rows)
+
+    def test_changes_contract(self, rows):
+        # Spectral + Gaussian: refinement changes shrink fast.
+        assert rows[2][2] < rows[1][2]
+
+    def test_working_resolution_converged(self, rows):
+        # At 12^3 (the small_test default) the residual discretisation
+        # error is far below the BF16-induced ekin deviations (~1e-2 Ha).
+        assert rows[2][2] < 0.3
+
+
+@pytest.mark.slow
+class TestOrbitalConvergence:
+    def test_nexc_stabilises(self):
+        rows = orbital_convergence(n_orbs=(20, 24, 32), n_qd_steps=30)
+        assert all(np.isfinite(r[1]) for r in rows)
+        # The added virtuals change nexc by ever-smaller amounts.
+        assert rows[2][2] <= rows[1][2] * 5  # no blow-up
+        assert rows[2][2] < 0.5 * max(rows[1][1], 1e-12) + 0.05

@@ -1,0 +1,73 @@
+"""Integration: FP64 LFD storage is immune to the compute modes.
+
+oneMKL's ``FLOAT_TO_*`` modes affect only single-precision routines;
+a DCMESH build with ``LFD_ENABLE_MIXED_PRECISION=OFF`` (all-FP64, the
+paper's FP64 bar in Fig. 3a) therefore produces *bitwise identical*
+results whatever ``MKL_BLAS_COMPUTE_MODE`` says.  Only ``COMPLEX_3M``
+— which does apply to zgemm — may change the rounding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.dcmesh.simulation import Simulation, SimulationConfig
+from repro.types import Precision
+
+
+@pytest.fixture(scope="module")
+def fp64_sim():
+    cfg = SimulationConfig.small_test(
+        mesh_shape=(10, 10, 10), n_orb=20, n_qd_steps=15, nscf=15,
+        storage=Precision.FP64,
+    )
+    sim = Simulation(cfg)
+    sim.setup()
+    return sim
+
+
+class TestFp64Storage:
+    def test_runs_in_complex128(self, fp64_sim):
+        result = fp64_sim.run(mode=ComputeMode.STANDARD)
+        assert result.final_psi.dtype == np.complex128
+
+    def test_float_to_modes_are_noops(self, fp64_sim):
+        ref = fp64_sim.run(mode=ComputeMode.STANDARD)
+        for mode in (
+            ComputeMode.FLOAT_TO_BF16,
+            ComputeMode.FLOAT_TO_BF16X2,
+            ComputeMode.FLOAT_TO_BF16X3,
+            ComputeMode.FLOAT_TO_TF32,
+        ):
+            alt = fp64_sim.run(mode=mode)
+            for col in ("ekin", "nexc", "javg"):
+                np.testing.assert_array_equal(
+                    alt.column(col), ref.column(col),
+                    err_msg=f"{mode} changed FP64 results ({col})",
+                )
+
+    def test_complex_3m_does_apply_to_zgemm(self, fp64_sim):
+        ref = fp64_sim.run(mode=ComputeMode.STANDARD)
+        alt = fp64_sim.run(mode=ComputeMode.COMPLEX_3M)
+        # Different accumulation, bitwise different...
+        assert not np.array_equal(alt.column("ekin"), ref.column("ekin"))
+        # ...numerically indistinguishable at FP64.
+        np.testing.assert_allclose(
+            alt.column("ekin"), ref.column("ekin"), rtol=1e-11
+        )
+
+    def test_fp64_more_accurate_than_fp32(self, fp64_sim):
+        """Unitarity holds tighter at FP64 storage."""
+        cfg32 = SimulationConfig.small_test(
+            mesh_shape=(10, 10, 10), n_orb=20, n_qd_steps=15, nscf=15,
+        )
+        r32 = Simulation(cfg32).run(mode=ComputeMode.STANDARD)
+        r64 = fp64_sim.run(mode=ComputeMode.STANDARD)
+        assert r64.final_gram_error() < r32.final_gram_error() / 100
+
+    def test_zgemm_in_verbose_log(self, fp64_sim):
+        from repro.blas.verbose import mkl_verbose
+
+        with mkl_verbose() as log:
+            fp64_sim.run(mode=ComputeMode.STANDARD, n_steps=2)
+        assert {r.routine for r in log} == {"zgemm"}

@@ -1,0 +1,45 @@
+"""Integration: the precision study transfers to the QMC workload."""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.qmc.study import QMC_STUDY_MODES, qmc_mode_study
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return qmc_mode_study(n_steps=200, seed=0)
+
+
+class TestPortabilityClaim:
+    def test_all_modes_ran(self, rows):
+        assert {r.mode for r in rows} == set(QMC_STUDY_MODES)
+
+    def test_accuracy_ladder_transfers(self, rows):
+        dev = {r.mode: r.deviation_from_fp32 for r in rows}
+        # Same ladder as DCMESH's Fig. 1, on a different application.
+        assert (dev[ComputeMode.FLOAT_TO_BF16]
+                > dev[ComputeMode.FLOAT_TO_TF32]
+                > dev[ComputeMode.FLOAT_TO_BF16X3])
+        assert dev[ComputeMode.FLOAT_TO_BF16X2] < dev[ComputeMode.FLOAT_TO_BF16]
+
+    def test_reference_exact(self, rows):
+        std = next(r for r in rows if r.mode is ComputeMode.STANDARD)
+        assert std.deviation_from_fp32 == 0.0
+        assert std.modelled_speedup == 1.0
+
+    def test_projection_dominates_precision_error(self, rows):
+        # The mode-induced energy shift stays below the (shared)
+        # residual projection error: the method's accuracy survives the
+        # fast modes, the paper's conclusion transplanted.
+        std = next(r for r in rows if r.mode is ComputeMode.STANDARD)
+        bf16 = next(r for r in rows if r.mode is ComputeMode.FLOAT_TO_BF16)
+        assert bf16.deviation_from_fp32 < std.error
+
+    def test_speedups_positive_and_ordered(self, rows):
+        s = {r.mode: r.modelled_speedup for r in rows}
+        assert (s[ComputeMode.FLOAT_TO_BF16]
+                > s[ComputeMode.FLOAT_TO_TF32]
+                > s[ComputeMode.FLOAT_TO_BF16X2]
+                > s[ComputeMode.FLOAT_TO_BF16X3]
+                >= 1.0)

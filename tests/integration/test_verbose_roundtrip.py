@@ -1,0 +1,60 @@
+"""Integration: the MKL_VERBOSE text pipeline end to end.
+
+The artifact's Table VI/VII workflow is: run with MKL_VERBOSE=2, pipe
+stdout to a file, then parse the text.  This test pushes a real
+simulation's call log through the *text* representation and back,
+verifying the analysis code sees exactly what the run emitted.
+"""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.blas.verbose import format_verbose_line, mkl_verbose
+from repro.profiling.mklverbose import parse_verbose_text, summarize_calls
+
+
+class TestVerboseTextPipeline:
+    def test_full_run_roundtrip(self, tiny_sim, clean_mode_env, tmp_path):
+        with mkl_verbose() as log:
+            tiny_sim.run(mode=ComputeMode.FLOAT_TO_TF32, n_steps=4)
+        # Pipe to a file like the artifact does, interleaved with the
+        # QD output lines an actual run prints.
+        out = tmp_path / "stdout.txt"
+        lines = []
+        for i, rec in enumerate(log):
+            lines.append(format_verbose_line(rec))
+            if i % 3 == 2:
+                lines.append("QD       12 1.0 1 2 3 4 5 6 7")  # app noise
+        out.write_text("\n".join(lines))
+
+        parsed = parse_verbose_text(out.read_text())
+        assert len(parsed) == len(log)
+        for original, back in zip(log, parsed):
+            assert back.routine == original.routine
+            assert (back.m, back.n, back.k) == (original.m, original.n, original.k)
+            assert back.mode is original.mode
+            assert back.site == original.site
+
+    def test_summaries_match_direct_and_text_paths(self, tiny_sim, clean_mode_env):
+        with mkl_verbose() as log:
+            tiny_sim.run(mode=ComputeMode.STANDARD, n_steps=4)
+        text = "\n".join(format_verbose_line(r) for r in log)
+        direct = summarize_calls(log)
+        via_text = summarize_calls(parse_verbose_text(text))
+        d = {(s.routine, s.m, s.n, s.k, s.site): s.count for s in direct}
+        t = {(s.routine, s.m, s.n, s.k, s.site): s.count for s in via_text}
+        assert d == t
+
+    def test_per_function_grouping_matches_paper_structure(self, tiny_sim, clean_mode_env):
+        with mkl_verbose() as log:
+            tiny_sim.run(mode=ComputeMode.STANDARD, n_steps=5)
+        summaries = summarize_calls(log)
+        per_site = {}
+        for s in summaries:
+            per_site.setdefault(s.site, 0)
+            per_site[s.site] += s.count
+        n_obs = 5 + 1  # initial observation + per-step
+        # 3 calls per function per observation; nlp only per step.
+        assert per_site["nlp_prop"] == 3 * 5
+        assert per_site["calc_energy"] == 3 * n_obs
+        assert per_site["remap_occ"] == 3 * n_obs

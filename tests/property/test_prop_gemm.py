@@ -1,0 +1,102 @@
+"""Property-based tests: GEMM dispatcher invariants across modes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blas.gemm import gemm
+from repro.blas.modes import ComputeMode
+
+pytestmark = pytest.mark.usefixtures("clean_mode_env")
+
+ALL_MODES = list(ComputeMode)
+
+dims = st.integers(min_value=1, max_value=12)
+
+
+@st.composite
+def gemm_inputs(draw, complex_=False):
+    m, k, n = draw(dims), draw(dims), draw(dims)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if complex_:
+        a = (rng.standard_normal((m, k)) + 1j * rng.standard_normal((m, k))).astype(np.complex64)
+        b = (rng.standard_normal((k, n)) + 1j * rng.standard_normal((k, n))).astype(np.complex64)
+    else:
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+    return a, b
+
+
+class TestGemmProperties:
+    @given(gemm_inputs(), st.sampled_from(ALL_MODES))
+    @settings(max_examples=60, deadline=None)
+    def test_close_to_fp64_reference(self, ab, mode):
+        a, b = ab
+        ref = a.astype(np.float64) @ b.astype(np.float64)
+        out = gemm(a, b, mode=mode).astype(np.float64)
+        scale = max(np.abs(ref).max(), 1e-6)
+        # Worst case (BF16): k * 2^-7 relative; generous envelope.
+        tol = a.shape[1] * 2**-6 * scale
+        assert np.abs(out - ref).max() <= tol
+
+    @given(gemm_inputs(complex_=True), st.sampled_from(ALL_MODES))
+    @settings(max_examples=40, deadline=None)
+    def test_complex_close_to_reference(self, ab, mode):
+        a, b = ab
+        ref = a.astype(np.complex128) @ b.astype(np.complex128)
+        out = gemm(a, b, mode=mode).astype(np.complex128)
+        scale = max(np.abs(ref).max(), 1e-6)
+        tol = 4 * a.shape[1] * 2**-6 * scale
+        assert np.abs(out - ref).max() <= tol
+
+    @given(gemm_inputs(), st.sampled_from(ALL_MODES))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, ab, mode):
+        a, b = ab
+        np.testing.assert_array_equal(gemm(a, b, mode=mode), gemm(a, b, mode=mode))
+
+    @given(gemm_inputs(), st.sampled_from(ALL_MODES),
+           st.floats(min_value=-4, max_value=4, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_scaling_linear(self, ab, mode, alpha):
+        # alpha is applied after the mode computation: exact scaling.
+        a, b = ab
+        base = gemm(a, b, mode=mode)
+        scaled = gemm(a, b, alpha=alpha, mode=mode)
+        np.testing.assert_allclose(
+            scaled, np.float32(alpha) * base, rtol=1e-6, atol=1e-30
+        )
+
+    @given(gemm_inputs(), st.sampled_from(ALL_MODES))
+    @settings(max_examples=40, deadline=None)
+    def test_output_shape_and_dtype(self, ab, mode):
+        a, b = ab
+        out = gemm(a, b, mode=mode)
+        assert out.shape == (a.shape[0], b.shape[1])
+        assert out.dtype == np.float32
+
+    @given(dims, dims, dims, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_conjugate_transpose_consistency(self, g, m, n, seed):
+        # With A (g x m) and B (g x n): (A^H B)^H == B^H A.
+        rng = np.random.default_rng(seed)
+        a = (rng.standard_normal((g, m)) + 1j * rng.standard_normal((g, m))).astype(np.complex64)
+        b = (rng.standard_normal((g, n)) + 1j * rng.standard_normal((g, n))).astype(np.complex64)
+        lhs = gemm(a, b, trans_a="C")
+        rhs = gemm(b, a, trans_a="C")
+        np.testing.assert_allclose(lhs.conj().T, rhs, rtol=1e-4, atol=1e-5)
+
+    @given(gemm_inputs(), st.sampled_from([
+        ComputeMode.FLOAT_TO_BF16X2, ComputeMode.FLOAT_TO_BF16X3,
+    ]))
+    @settings(max_examples=40, deadline=None)
+    def test_multi_term_never_worse_than_single(self, ab, mode):
+        a, b = ab
+        ref = a.astype(np.float64) @ b.astype(np.float64)
+        e_multi = np.abs(gemm(a, b, mode=mode).astype(np.float64) - ref).max()
+        e_single = np.abs(
+            gemm(a, b, mode=ComputeMode.FLOAT_TO_BF16).astype(np.float64) - ref
+        ).max()
+        # Allow tiny slack for ties at exact representability.
+        assert e_multi <= e_single + 1e-12 + 1e-7 * np.abs(ref).max()

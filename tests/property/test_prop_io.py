@@ -1,0 +1,78 @@
+"""Property-based tests: file formats round-trip losslessly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dcmesh.io.config import parse_config_file, write_config_file
+from repro.dcmesh.io.lfdinput import parse_lfd_input, write_lfd_input
+from repro.dcmesh.laser import LaserPulse
+from repro.dcmesh.material import Material, PTO_SPECIES
+from repro.dcmesh.observables import QDRecord, format_qd_line, parse_qd_line
+from repro.types import Precision
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e12, max_value=1e12)
+
+
+class TestQDLineRoundTrip:
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.lists(finite, min_size=8, max_size=8),
+    )
+    def test_lossless(self, step, vals):
+        rec = QDRecord(step, *vals)
+        back = parse_qd_line(format_qd_line(rec))
+        assert back.step == rec.step
+        for field in ("time_fs", "ekin", "epot", "etot", "eexc", "nexc",
+                      "aext", "javg"):
+            assert getattr(back, field) == getattr(rec, field), field
+
+
+class TestConfigRoundTrip:
+    @given(
+        st.lists(st.sampled_from(["Pb", "Ti", "O"]), min_size=1, max_size=12),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=2.0, max_value=50.0),
+    )
+    @settings(max_examples=30)
+    def test_lossless(self, tmp_path_factory, symbols, seed, box_len):
+        tmp = tmp_path_factory.mktemp("cfg")
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(0, box_len, (len(symbols), 3))
+        material = Material(symbols, positions, (box_len,) * 3)
+        path = tmp / "CONFIG"
+        write_config_file(path, material)
+        back = parse_config_file(path)
+        assert back.symbols == material.symbols
+        np.testing.assert_array_equal(back.positions, material.positions)
+        assert back.box == material.box
+
+
+class TestLfdInputRoundTrip:
+    @given(
+        st.floats(min_value=1e-3, max_value=1.0),
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=1, max_value=10**4),
+        st.sampled_from([Precision.FP32, Precision.FP64]),
+        st.booleans(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=1e-3, max_value=2.0),
+        st.floats(min_value=1e-3, max_value=1.0),
+        st.floats(min_value=0.1, max_value=50.0),
+    )
+    @settings(max_examples=30)
+    def test_lossless(self, tmp_path_factory, dt, nsteps, nscf, storage,
+                      move, seed, amp, omega, dur):
+        tmp = tmp_path_factory.mktemp("lfd")
+        original = dict(
+            dt=dt, nsteps=nsteps, nscf=nscf, storage=storage,
+            move_ions=move, seed=seed,
+            laser=LaserPulse(amplitude=amp, omega=omega, duration_fs=dur),
+        )
+        path = tmp / "lfd.in"
+        write_lfd_input(path, original)
+        back = parse_lfd_input(path)
+        for key in ("dt", "nsteps", "nscf", "storage", "move_ions", "seed"):
+            assert back[key] == original[key], key
+        assert back["laser"] == original["laser"]

@@ -1,0 +1,66 @@
+"""Property-based tests: mesh invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dcmesh.mesh import Mesh
+
+shapes = st.tuples(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=2, max_value=10),
+)
+boxes = st.tuples(
+    st.floats(min_value=1.0, max_value=20.0),
+    st.floats(min_value=1.0, max_value=20.0),
+    st.floats(min_value=1.0, max_value=20.0),
+)
+
+
+class TestMeshProperties:
+    @given(shapes, boxes)
+    @settings(max_examples=30, deadline=None)
+    def test_geometry_consistency(self, shape, box):
+        m = Mesh(shape, box)
+        assert m.n_grid == shape[0] * shape[1] * shape[2]
+        assert m.dv * m.n_grid == pytest.approx(m.volume, rel=1e-12)
+        assert m.coords.shape == (m.n_grid, 3)
+        assert m.kvecs.shape == (m.n_grid, 3)
+
+    @given(shapes, boxes, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_fft_roundtrip(self, shape, box, seed):
+        m = Mesh(shape, box)
+        rng = np.random.default_rng(seed)
+        psi = (rng.standard_normal((m.n_grid, 2))
+               + 1j * rng.standard_normal((m.n_grid, 2)))
+        np.testing.assert_allclose(m.ifft(m.fft(psi)), psi, atol=1e-10)
+
+    @given(shapes, boxes, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_parseval(self, shape, box, seed):
+        m = Mesh(shape, box)
+        rng = np.random.default_rng(seed)
+        psi = (rng.standard_normal(m.n_grid) + 1j * rng.standard_normal(m.n_grid))
+        real_norm = np.sum(np.abs(psi) ** 2)
+        g_norm = np.sum(np.abs(m.fft(psi[:, None])) ** 2) / m.n_grid
+        assert g_norm == pytest.approx(real_norm, rel=1e-10)
+
+    @given(shapes, boxes, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_minimum_image_bounded(self, shape, box, seed):
+        m = Mesh(shape, box)
+        rng = np.random.default_rng(seed)
+        delta = rng.uniform(-100, 100, (50, 3))
+        wrapped = m.minimum_image(delta)
+        half = 0.5 * np.asarray(box)
+        assert np.all(np.abs(wrapped) <= half + 1e-9)
+
+    @given(shapes, boxes)
+    @settings(max_examples=30, deadline=None)
+    def test_k2_nonnegative_and_deriv_subset(self, shape, box):
+        m = Mesh(shape, box)
+        assert np.all(m.k2 >= 0)
+        # Derivative k-grid only ever zeroes components, never adds.
+        assert np.all(np.abs(m.kvecs_deriv) <= np.abs(m.kvecs) + 1e-12)

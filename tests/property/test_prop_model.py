@@ -1,0 +1,56 @@
+"""Property-based tests: device-model invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blas.modes import ComputeMode
+from repro.core.theoretical import peak_theoretical_speedup
+from repro.gpu.gemm_model import GemmModel
+from repro.gpu.specs import MAX_1550_STACK
+
+MODEL = GemmModel()
+
+dims = st.integers(min_value=1, max_value=8192)
+routines = st.sampled_from(["sgemm", "dgemm", "cgemm", "zgemm"])
+modes = st.sampled_from(list(ComputeMode))
+
+
+class TestModelProperties:
+    @given(routines, dims, dims, dims, modes)
+    @settings(max_examples=120, deadline=None)
+    def test_time_positive_finite(self, routine, m, n, k, mode):
+        t = MODEL.seconds(routine, m, n, k, mode)
+        assert t > 0
+        assert t < 1e6
+
+    @given(dims, dims, dims, modes)
+    @settings(max_examples=80, deadline=None)
+    def test_speedup_never_exceeds_theoretical_peak(self, m, n, k, mode):
+        s = MODEL.speedup_vs_fp32("cgemm", m, n, k, mode)
+        peak = peak_theoretical_speedup(mode, MAX_1550_STACK)
+        # The model's memory and power terms only *reduce* speedup;
+        # launch-overhead edge cases get a small epsilon.
+        assert s <= peak * 1.05 + 0.05
+
+    @given(routines, dims, dims, dims, modes)
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_each_dimension(self, routine, m, n, k, mode):
+        base = MODEL.seconds(routine, m, n, k, mode)
+        assert MODEL.seconds(routine, 2 * m, n, k, mode) >= base * 0.999
+        assert MODEL.seconds(routine, m, 2 * n, k, mode) >= base * 0.999
+        assert MODEL.seconds(routine, m, n, 2 * k, mode) >= base * 0.999
+
+    @given(dims, dims, dims)
+    @settings(max_examples=60, deadline=None)
+    def test_double_precision_never_faster(self, m, n, k):
+        t32 = MODEL.seconds("cgemm", m, n, k, ComputeMode.STANDARD)
+        t64 = MODEL.seconds("zgemm", m, n, k, ComputeMode.STANDARD)
+        assert t64 >= t32 * 0.999
+
+    @given(dims, dims, dims, modes)
+    @settings(max_examples=60, deadline=None)
+    def test_flops_consistent_with_components(self, m, n, k, mode):
+        cost = MODEL.cost("cgemm", m, n, k, mode)
+        assert cost.point.flops == pytest.approx(
+            2.0 * m * n * k * cost.n_component_products
+        )

@@ -1,0 +1,57 @@
+"""Property-based tests: mode parsing and selection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.blas.modes import (
+    ComputeMode,
+    UnknownComputeModeError,
+    compute_mode,
+    get_compute_mode,
+    resolve_mode,
+)
+
+
+class TestParseProperties:
+    @given(st.sampled_from(list(ComputeMode)))
+    def test_roundtrip_env_value(self, mode):
+        assert ComputeMode.parse(mode.env_value) is mode
+
+    @given(st.sampled_from(list(ComputeMode)),
+           st.sampled_from([str.lower, str.upper, str.title]))
+    def test_case_insensitive(self, mode, transform):
+        assert ComputeMode.parse(transform(mode.env_value)) is mode
+
+    @given(st.text(max_size=20))
+    def test_never_crashes_unexpectedly(self, text):
+        try:
+            out = ComputeMode.parse(text)
+        except UnknownComputeModeError:
+            return
+        assert isinstance(out, ComputeMode)
+
+    @given(st.sampled_from(list(ComputeMode)))
+    def test_component_structure_consistent(self, mode):
+        n = mode.n_terms
+        assert mode.n_component_products == n * (n + 1) // 2
+        if mode.is_low_precision:
+            assert mode.component_precision is not None
+        else:
+            assert mode.component_precision is None
+
+
+class TestSelectionProperties:
+    @given(st.lists(st.sampled_from(list(ComputeMode)), min_size=1, max_size=6))
+    def test_nested_contexts_stack_like(self, modes):
+        import contextlib
+
+        with contextlib.ExitStack() as stack:
+            for m in modes:
+                stack.enter_context(compute_mode(m))
+                assert get_compute_mode() is m
+        assert get_compute_mode() is ComputeMode.STANDARD
+
+    @given(st.sampled_from(list(ComputeMode)), st.sampled_from(list(ComputeMode)))
+    def test_explicit_always_wins(self, ambient, explicit):
+        with compute_mode(ambient):
+            assert resolve_mode(explicit) is explicit

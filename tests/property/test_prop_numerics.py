@@ -1,0 +1,73 @@
+"""Property-based tests: numerics-layer extensions (stencil, batch, maxwell)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blas.batch import gemm_batch
+from repro.blas.gemm import gemm
+from repro.blas.modes import ComputeMode
+from repro.dcmesh.maxwell import InducedField
+from repro.dcmesh.stencil import STENCIL_COEFFICIENTS, laplacian_eigenvalue_1d
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+modes = st.sampled_from(list(ComputeMode))
+
+
+class TestStencilProperties:
+    @given(
+        st.sampled_from(sorted(STENCIL_COEFFICIENTS)),
+        st.floats(min_value=0.05, max_value=2.0),
+        st.floats(min_value=0.01, max_value=0.3),
+    )
+    def test_eigenvalue_negative_and_bounded(self, order, k, h):
+        val = laplacian_eigenvalue_1d(k, h, order)
+        # FD eigenvalues of -d2/dx2 are non-positive and never
+        # overshoot the exact -k^2 by more than it is worth at coarse h.
+        assert val <= 1e-12
+        assert val >= -4.0 * sum(abs(c) for c in STENCIL_COEFFICIENTS[order]) / h**2
+
+    @given(
+        st.sampled_from(sorted(STENCIL_COEFFICIENTS)),
+        st.floats(min_value=0.1, max_value=1.5),
+    )
+    def test_refinement_improves(self, order, k):
+        coarse = abs(laplacian_eigenvalue_1d(k, 0.2, order) + k * k)
+        fine = abs(laplacian_eigenvalue_1d(k, 0.05, order) + k * k)
+        assert fine <= coarse + 1e-12
+
+
+class TestBatchProperties:
+    @given(seeds, st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=6), modes)
+    @settings(max_examples=40, deadline=None)
+    def test_batch_equals_loop(self, seed, batch, dim, mode):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((batch, dim, dim)).astype(np.float32)
+        b = rng.standard_normal((batch, dim, dim)).astype(np.float32)
+        out = gemm_batch(a, b, mode=mode)
+        for i in range(batch):
+            np.testing.assert_array_equal(out[i], gemm(a[i], b[i], mode=mode))
+
+
+class TestInducedFieldProperties:
+    @given(
+        st.floats(min_value=1e-3, max_value=0.5),
+        st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=50),
+    )
+    def test_linear_in_current_history(self, dt, currents):
+        # The integrator is linear: doubling the drive doubles the field.
+        f1, f2 = InducedField(dt), InducedField(dt)
+        for j in currents:
+            f1.step(j)
+            f2.step(2.0 * j)
+        assert f2.a == pytest.approx(2.0 * f1.a, rel=1e-12, abs=1e-300)
+        assert f2.a_dot == pytest.approx(2.0 * f1.a_dot, rel=1e-12, abs=1e-300)
+
+    @given(st.floats(min_value=1e-3, max_value=0.5),
+           st.integers(min_value=1, max_value=100))
+    def test_zero_drive_inert(self, dt, n):
+        f = InducedField(dt)
+        for _ in range(n):
+            f.step(0.0)
+        assert f.a == 0.0 and f.a_dot == 0.0

@@ -1,0 +1,103 @@
+"""Property-based tests: physics-layer invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blas.complex3m import gemm_3m, gemm_4m
+from repro.dcmesh.laser import LaserPulse
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.wavefunction import OrbitalSet
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestLaserProperties:
+    @given(
+        st.floats(min_value=1e-3, max_value=1.0),
+        st.floats(min_value=1e-3, max_value=1.0),
+        st.floats(min_value=0.1, max_value=20.0),
+        st.floats(min_value=-100.0, max_value=1000.0),
+    )
+    def test_amplitude_bounded(self, amp, omega, dur, t):
+        p = LaserPulse(amplitude=amp, omega=omega, duration_fs=dur)
+        assert abs(p.scalar_amplitude(t)) <= amp * (1 + 1e-12)
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1.0),
+        st.floats(min_value=0.1, max_value=20.0),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_field_is_negative_da_dt(self, amp, dur, frac):
+        p = LaserPulse(amplitude=amp, omega=0.3, duration_fs=dur)
+        t = frac * p.duration_au
+        h = p.duration_au * 1e-7
+        numeric = -(p.vector_potential(t + h) - p.vector_potential(t - h)) / (2 * h)
+        np.testing.assert_allclose(p.electric_field(t), numeric,
+                                   rtol=1e-3, atol=1e-8 * amp)
+
+    @given(st.tuples(*[st.floats(min_value=-5, max_value=5)] * 3))
+    def test_polarization_always_unit(self, pol):
+        if np.linalg.norm(pol) == 0:
+            with pytest.raises(ValueError):
+                LaserPulse(polarization=pol)
+        else:
+            p = LaserPulse(polarization=pol)
+            assert np.linalg.norm(p.polarization) == pytest.approx(1.0)
+
+
+class TestOrbitalProperties:
+    @given(seeds, st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_random_sets_orthonormal(self, seed, n_orb, n_occ):
+        mesh = Mesh((6, 6, 6), (4.0, 4.0, 4.0))
+        if n_occ > n_orb:
+            with pytest.raises(ValueError):
+                OrbitalSet.random(mesh, n_orb, n_occ, seed=seed)
+            return
+        orb = OrbitalSet.random(mesh, n_orb, n_occ, seed=seed)
+        np.testing.assert_allclose(orb.overlap(), np.eye(n_orb), atol=1e-10)
+        assert orb.n_electrons == 2.0 * n_occ
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_lowdin_idempotent(self, seed):
+        mesh = Mesh((6, 6, 6), (4.0, 4.0, 4.0))
+        orb = OrbitalSet.random(mesh, 4, 2, seed=seed)
+        rng = np.random.default_rng(seed)
+        orb.psi = orb.psi + 0.05 * (
+            rng.standard_normal(orb.psi.shape)
+            + 1j * rng.standard_normal(orb.psi.shape)
+        )
+        orb.orthonormalize()
+        once = orb.psi.copy()
+        orb.orthonormalize()
+        np.testing.assert_allclose(orb.psi, once, atol=1e-12)
+
+
+class TestComplex3MProperties:
+    @given(seeds, st.integers(min_value=1, max_value=10),
+           st.integers(min_value=1, max_value=10),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_3m_close_to_4m(self, seed, m, k, n):
+        rng = np.random.default_rng(seed)
+        a = (rng.standard_normal((m, k)) + 1j * rng.standard_normal((m, k))).astype(np.complex64)
+        b = (rng.standard_normal((k, n)) + 1j * rng.standard_normal((k, n))).astype(np.complex64)
+        ref = a.astype(np.complex128) @ b.astype(np.complex128)
+        scale = max(np.abs(ref).max(), 1e-6)
+        err3 = np.abs(gemm_3m(a, b) - ref).max() / scale
+        err4 = np.abs(gemm_4m(a, b) - ref).max() / scale
+        # Both within a few k*eps of the FP64 reference.
+        assert err3 < k * 1e-5
+        assert err4 < k * 1e-5
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_3m_linear_in_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        a = (rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))).astype(np.complex128)
+        b = (rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))).astype(np.complex128)
+        np.testing.assert_allclose(gemm_3m(2.0 * a, b), 2.0 * gemm_3m(a, b),
+                                   rtol=1e-12)

@@ -1,0 +1,113 @@
+"""Property-based tests: rounding primitives (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.blas.rounding import (
+    max_relative_error,
+    round_fp32_to_bf16,
+    round_fp32_to_tf32,
+    round_mantissa,
+    split_terms,
+)
+
+_F32_MAX = float(np.float32(3e38))  # exactly representable float32 bound
+
+finite_f32 = st.floats(
+    min_value=-_F32_MAX, max_value=_F32_MAX, allow_nan=False,
+    allow_infinity=False, width=32, allow_subnormal=False,
+)
+
+f32_arrays = hnp.arrays(
+    dtype=np.float32,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=32),
+    elements=finite_f32,
+)
+
+keep_bits = st.integers(min_value=1, max_value=23)
+
+
+class TestRoundingProperties:
+    @given(f32_arrays, keep_bits)
+    def test_idempotent(self, x, keep):
+        once = round_mantissa(x, keep)
+        twice = round_mantissa(once, keep)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(f32_arrays)
+    def test_bf16_relative_error_bound(self, x):
+        out = round_fp32_to_bf16(x)
+        nz = x != 0
+        if nz.any():
+            rel = np.abs((out[nz] - x[nz]) / x[nz])
+            assert rel.max() <= max_relative_error(7) * (1 + 1e-6)
+
+    @given(f32_arrays)
+    def test_tf32_at_least_as_accurate_as_bf16(self, x):
+        eb = np.abs(round_fp32_to_bf16(x) - x)
+        et = np.abs(round_fp32_to_tf32(x) - x)
+        assert np.all(et <= eb + 0.0)
+
+    @given(f32_arrays, keep_bits)
+    def test_sign_symmetry(self, x, keep):
+        np.testing.assert_array_equal(
+            round_mantissa(-x, keep), -round_mantissa(x, keep)
+        )
+
+    @given(st.lists(finite_f32, min_size=2, max_size=2).map(sorted), keep_bits)
+    def test_monotone(self, pair, keep):
+        lo, hi = pair
+        a = round_mantissa(np.array([lo], np.float32), keep)[0]
+        b = round_mantissa(np.array([hi], np.float32), keep)[0]
+        assert a <= b
+
+    @given(f32_arrays, keep_bits)
+    def test_result_on_grid(self, x, keep):
+        # Low dropped bits are exactly zero for finite outputs.
+        out = round_mantissa(x, keep)
+        drop = 23 - keep
+        if drop:
+            bits = out.view(np.uint32)
+            finite = np.isfinite(out)
+            assert np.all(bits[finite] & ((1 << drop) - 1) == 0)
+
+    @given(f32_arrays, keep_bits)
+    def test_zero_maps_to_zero(self, x, keep):
+        z = round_mantissa(np.zeros_like(x), keep)
+        np.testing.assert_array_equal(z, np.zeros_like(x))
+
+
+class TestSplitProperties:
+    @given(f32_arrays, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=50)
+    def test_terms_on_bf16_grid(self, x, n):
+        for t in split_terms(x, 7, n):
+            np.testing.assert_array_equal(round_mantissa(t, 7), t)
+
+    @given(f32_arrays, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=50)
+    def test_residual_shrinks_with_terms(self, x, n):
+        terms = split_terms(x, 7, n)
+        recon = np.zeros_like(x)
+        prev_err = None
+        for t in terms:
+            recon = recon + t
+            err = float(np.abs(recon - x).max())
+            if prev_err is not None:
+                assert err <= prev_err * (1 + 1e-6)
+            prev_err = err
+
+    @given(f32_arrays)
+    @settings(max_examples=50)
+    def test_three_term_reconstruction_tight(self, x):
+        t1, t2, t3 = split_terms(x, 7, 3)
+        err = np.abs((t1 + t2 + t3) - x)
+        # The relative bound holds while the residual terms stay out of
+        # the FP32 denormal range; near the minimum normal (~1.2e-38)
+        # the residual grid itself is absolute, not relative.
+        mask = np.abs(x) >= 2.0**-100
+        if mask.any():
+            rel = err[mask] / np.abs(x[mask])
+            assert float(rel.max()) <= 2**-20

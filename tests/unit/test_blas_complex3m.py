@@ -1,0 +1,79 @@
+"""Unit tests: 3M vs 4M complex multiplication."""
+
+import numpy as np
+import pytest
+
+from repro.blas.complex3m import gemm_3m, gemm_4m
+
+
+def _cmat(shape, rng, dtype=np.complex64):
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(dtype)
+
+
+class TestCorrectness:
+    def test_4m_matches_numpy(self, rng):
+        a, b = _cmat((12, 8), rng), _cmat((8, 10), rng)
+        np.testing.assert_allclose(gemm_4m(a, b), a @ b, rtol=1e-5)
+
+    def test_3m_matches_numpy(self, rng):
+        a, b = _cmat((12, 8), rng), _cmat((8, 10), rng)
+        np.testing.assert_allclose(gemm_3m(a, b), a @ b, rtol=1e-4)
+
+    def test_3m_equals_4m_in_exact_arithmetic(self, rng):
+        # At FP64 over small integers, 3M and 4M agree exactly.
+        a = (rng.integers(-5, 5, (6, 6)) + 1j * rng.integers(-5, 5, (6, 6))).astype(
+            np.complex128
+        )
+        b = (rng.integers(-5, 5, (6, 6)) + 1j * rng.integers(-5, 5, (6, 6))).astype(
+            np.complex128
+        )
+        np.testing.assert_array_equal(gemm_3m(a, b), gemm_4m(a, b))
+
+    def test_3m_has_different_rounding_than_4m(self, rng):
+        a, b = _cmat((32, 32), rng), _cmat((32, 32), rng)
+        assert not np.array_equal(gemm_3m(a, b), gemm_4m(a, b))
+
+    def test_complex128_supported(self, rng):
+        a, b = _cmat((8, 8), rng, np.complex128), _cmat((8, 8), rng, np.complex128)
+        out = gemm_3m(a, b)
+        assert out.dtype == np.complex128
+        np.testing.assert_allclose(out, a @ b, rtol=1e-12)
+
+    def test_3m_cancellation_behaviour_differs(self):
+        # Constructed case: imaginary part comes from cancelling large
+        # terms; 3M's t3 - t1 - t2 loses more bits than 4M's direct sum.
+        # (The paper: "different numeric cancellation behavior".)
+        a = np.array([[1e4 + 1e-3j]], dtype=np.complex64)
+        b = np.array([[1e4 - 1e-3j]], dtype=np.complex64)
+        exact = (a.astype(np.complex128) @ b.astype(np.complex128))[0, 0]
+        err3 = abs(gemm_3m(a, b)[0, 0].imag - exact.imag)
+        err4 = abs(gemm_4m(a, b)[0, 0].imag - exact.imag)
+        assert err3 >= err4
+
+    def test_custom_real_gemm_is_used(self, rng):
+        calls = []
+
+        def spy(x, y):
+            calls.append((x.shape, y.shape))
+            return x @ y
+
+        a, b = _cmat((4, 6), rng), _cmat((6, 5), rng)
+        gemm_3m(a, b, real_gemm=spy)
+        assert len(calls) == 3
+        gemm_4m(a, b, real_gemm=spy)
+        assert len(calls) == 3 + 4
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            gemm_3m(_cmat((3, 4), rng), _cmat((5, 3), rng))
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            gemm_4m(np.zeros(3, np.complex64), np.zeros((3, 3), np.complex64))
+
+    def test_real_inputs_promote(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        out = gemm_3m(a, a)
+        assert out.dtype == np.complex64
+        np.testing.assert_allclose(out.real, a @ a, rtol=1e-5)
+        np.testing.assert_allclose(out.imag, 0, atol=1e-5)

@@ -1,0 +1,65 @@
+"""Unit tests: environment-variable plumbing (the artifact's run recipe)."""
+
+import os
+
+import pytest
+
+from repro.blas.env import KMP_BLOCKTIME_ENV, paper_run_env, scoped_env
+from repro.blas.modes import ComputeMode, MKL_COMPUTE_MODE_ENV
+from repro.blas.verbose import MKL_VERBOSE_ENV
+
+
+class TestScopedEnv:
+    def test_sets_and_restores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_VAR", raising=False)
+        with scoped_env({"REPRO_TEST_VAR": "x"}):
+            assert os.environ["REPRO_TEST_VAR"] == "x"
+        assert "REPRO_TEST_VAR" not in os.environ
+
+    def test_restores_previous_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_VAR", "old")
+        with scoped_env({"REPRO_TEST_VAR": "new"}):
+            assert os.environ["REPRO_TEST_VAR"] == "new"
+        assert os.environ["REPRO_TEST_VAR"] == "old"
+
+    def test_none_unsets(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_VAR", "old")
+        with scoped_env({"REPRO_TEST_VAR": None}):
+            assert "REPRO_TEST_VAR" not in os.environ
+        assert os.environ["REPRO_TEST_VAR"] == "old"
+
+    def test_restores_on_exception(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_VAR", raising=False)
+        with pytest.raises(RuntimeError):
+            with scoped_env({"REPRO_TEST_VAR": "x"}):
+                raise RuntimeError
+        assert "REPRO_TEST_VAR" not in os.environ
+
+
+class TestPaperRunEnv:
+    def test_standard_run_unsets_mode(self):
+        env = paper_run_env(ComputeMode.STANDARD)
+        assert env[KMP_BLOCKTIME_ENV] == "0"
+        assert env[MKL_COMPUTE_MODE_ENV] is None
+        assert env[MKL_VERBOSE_ENV] is None
+
+    def test_bf16_run_sets_mode(self):
+        env = paper_run_env(ComputeMode.FLOAT_TO_BF16)
+        assert env[MKL_COMPUTE_MODE_ENV] == "FLOAT_TO_BF16"
+
+    def test_verbose_flag(self):
+        env = paper_run_env(ComputeMode.FLOAT_TO_TF32, verbose=True)
+        assert env[MKL_VERBOSE_ENV] == "2"
+
+    def test_recipe_drives_blas_layer(self, rng, clean_mode_env):
+        # The whole point: exporting the env vars flips the mode with
+        # no source change.
+        import numpy as np
+
+        from repro.blas.gemm import sgemm
+
+        a = rng.standard_normal((16, 16)).astype(np.float32)
+        with scoped_env(paper_run_env(ComputeMode.FLOAT_TO_BF16)):
+            from_env = sgemm(a, a)
+        explicit = sgemm(a, a, mode="FLOAT_TO_BF16")
+        np.testing.assert_array_equal(from_env, explicit)

@@ -1,0 +1,224 @@
+"""Unit tests: the GEMM dispatcher — semantics, modes, dtypes, errors."""
+
+import numpy as np
+import pytest
+
+from repro.blas.gemm import call_site, cgemm, dgemm, gemm, sgemm, use_device, zgemm
+from repro.blas.modes import ComputeMode, compute_mode
+from repro.blas.verbose import mkl_verbose
+
+pytestmark = pytest.mark.usefixtures("clean_mode_env")
+
+
+def _rand(shape, rng, dtype=np.float32):
+    x = rng.standard_normal(shape)
+    if np.dtype(dtype).kind == "c":
+        x = x + 1j * rng.standard_normal(shape)
+    return x.astype(dtype)
+
+
+class TestBasicSemantics:
+    def test_matches_numpy_fp32(self, rng):
+        a, b = _rand((17, 9), rng), _rand((9, 13), rng)
+        np.testing.assert_allclose(gemm(a, b), a @ b, rtol=1e-6)
+
+    def test_alpha_scaling(self, rng):
+        a, b = _rand((4, 4), rng), _rand((4, 4), rng)
+        np.testing.assert_allclose(gemm(a, b, alpha=2.5), 2.5 * (a @ b), rtol=1e-6)
+
+    def test_beta_accumulation(self, rng):
+        a, b = _rand((6, 5), rng), _rand((5, 7), rng)
+        c = _rand((6, 7), rng)
+        out = gemm(a, b, beta=0.5, c=c)
+        np.testing.assert_allclose(out, a @ b + 0.5 * c, rtol=1e-5)
+
+    def test_beta_without_c_rejected(self, rng):
+        a, b = _rand((3, 3), rng), _rand((3, 3), rng)
+        with pytest.raises(ValueError, match="requires a C"):
+            gemm(a, b, beta=1.0)
+
+    def test_c_shape_checked(self, rng):
+        a, b = _rand((3, 4), rng), _rand((4, 5), rng)
+        with pytest.raises(ValueError, match="C has shape"):
+            gemm(a, b, beta=1.0, c=np.zeros((2, 2), np.float32))
+
+    def test_transpose_flags(self, rng):
+        a, b = _rand((5, 7), rng), _rand((5, 9), rng)
+        np.testing.assert_allclose(gemm(a, b, trans_a="T"), a.T @ b, rtol=1e-6)
+
+    def test_conjugate_transpose_complex(self, rng):
+        a = _rand((5, 7), rng, np.complex64)
+        b = _rand((5, 9), rng, np.complex64)
+        np.testing.assert_allclose(
+            gemm(a, b, trans_a="C"), a.conj().T @ b, rtol=1e-5
+        )
+
+    def test_conjugate_transpose_real_is_plain_transpose(self, rng):
+        a, b = _rand((5, 7), rng), _rand((5, 9), rng)
+        np.testing.assert_allclose(gemm(a, b, trans_a="C"), a.T @ b, rtol=1e-6)
+
+    def test_bad_trans_flag(self, rng):
+        a, b = _rand((3, 3), rng), _rand((3, 3), rng)
+        with pytest.raises(ValueError, match="trans flags"):
+            gemm(a, b, trans_a="X")
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            gemm(_rand((3, 4), rng), _rand((5, 6), rng))
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            gemm(np.zeros(3, np.float32), np.zeros((3, 3), np.float32))
+
+    def test_nan_input_rejected(self, rng):
+        a = _rand((3, 3), rng)
+        a[0, 0] = np.nan
+        with pytest.raises(FloatingPointError, match="non-finite"):
+            gemm(a, _rand((3, 3), rng))
+
+    def test_inf_input_rejected(self, rng):
+        b = _rand((3, 3), rng)
+        b[1, 1] = np.inf
+        with pytest.raises(FloatingPointError, match="non-finite"):
+            gemm(_rand((3, 3), rng), b)
+
+    def test_non_contiguous_inputs_accepted(self, rng):
+        a = _rand((8, 8), rng)[::2, :]  # strided view
+        b = _rand((8, 6), rng)
+        np.testing.assert_allclose(gemm(a, b), a @ b, rtol=1e-6)
+
+
+class TestDtypePromotion:
+    def test_typed_wrappers(self, rng):
+        a64 = rng.standard_normal((4, 4))
+        assert sgemm(a64, a64).dtype == np.float32
+        assert dgemm(a64, a64).dtype == np.float64
+        assert cgemm(a64, a64).dtype == np.complex64
+        assert zgemm(a64, a64).dtype == np.complex128
+
+    def test_mixed_promotes(self, rng):
+        a = _rand((3, 3), rng, np.float32)
+        b = _rand((3, 3), rng, np.complex64)
+        assert gemm(a, b).dtype == np.complex64
+
+    def test_integer_inputs_promote_to_fp64(self):
+        a = np.arange(9).reshape(3, 3)
+        out = gemm(a, a)
+        assert out.dtype == np.float64
+        np.testing.assert_allclose(out, a @ a)
+
+
+class TestModeSemantics:
+    def test_bf16_differs_from_standard(self, rng):
+        a, b = _rand((32, 32), rng), _rand((32, 32), rng)
+        std = gemm(a, b, mode=ComputeMode.STANDARD)
+        alt = gemm(a, b, mode=ComputeMode.FLOAT_TO_BF16)
+        assert not np.array_equal(std, alt)
+
+    def test_bf16_error_within_bound_positive_data(self, rng):
+        a = rng.uniform(0.5, 1.5, (64, 48)).astype(np.float32)
+        b = rng.uniform(0.5, 1.5, (48, 32)).astype(np.float32)
+        ref = a.astype(np.float64) @ b.astype(np.float64)
+        out = gemm(a, b, mode="FLOAT_TO_BF16").astype(np.float64)
+        rel = np.abs(out - ref) / np.abs(ref)
+        # Section V-B bound: ~2^-7 for BF16 inputs, with headroom.
+        assert rel.max() < 2**-6
+
+    def test_accuracy_ordering_across_modes(self, rng):
+        a = _rand((64, 64), rng, np.complex64)
+        b = _rand((64, 64), rng, np.complex64)
+        ref = a.astype(np.complex128) @ b.astype(np.complex128)
+
+        def err(mode):
+            out = gemm(a, b, mode=mode)
+            return np.abs(out - ref).max() / np.abs(ref).max()
+
+        e_bf16 = err(ComputeMode.FLOAT_TO_BF16)
+        e_tf32 = err(ComputeMode.FLOAT_TO_TF32)
+        e_x2 = err(ComputeMode.FLOAT_TO_BF16X2)
+        e_x3 = err(ComputeMode.FLOAT_TO_BF16X3)
+        e_3m = err(ComputeMode.COMPLEX_3M)
+        e_std = err(ComputeMode.STANDARD)
+        # Paper ordering: BF16 worst, then TF32, then BF16x2; BF16x3
+        # and 3M comparable to standard FP32.
+        assert e_bf16 > e_tf32 > e_x2 > e_x3
+        assert e_x3 < 10 * e_std
+        assert e_3m < 10 * e_std
+
+    def test_float_to_modes_ignore_double_precision(self, rng):
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        std = dgemm(a, b, mode=ComputeMode.STANDARD)
+        alt = dgemm(a, b, mode=ComputeMode.FLOAT_TO_BF16)
+        np.testing.assert_array_equal(std, alt)
+
+    def test_3m_ignores_real_routines(self, rng):
+        a, b = _rand((16, 16), rng), _rand((16, 16), rng)
+        np.testing.assert_array_equal(
+            gemm(a, b, mode="COMPLEX_3M"), gemm(a, b, mode="STANDARD")
+        )
+
+    def test_3m_applies_to_zgemm(self, rng):
+        a = _rand((16, 16), rng, np.complex128)
+        b = _rand((16, 16), rng, np.complex128)
+        std = zgemm(a, b, mode="STANDARD")
+        alt = zgemm(a, b, mode="COMPLEX_3M")
+        # Different accumulation -> bitwise different, numerically close.
+        assert not np.array_equal(std, alt)
+        np.testing.assert_allclose(alt, std, rtol=1e-12)
+
+    def test_ambient_context_mode_applies(self, rng):
+        a, b = _rand((16, 16), rng), _rand((16, 16), rng)
+        with compute_mode("FLOAT_TO_BF16"):
+            ambient = gemm(a, b)
+        explicit = gemm(a, b, mode="FLOAT_TO_BF16")
+        np.testing.assert_array_equal(ambient, explicit)
+
+    def test_env_variable_controls_mode(self, rng, monkeypatch):
+        a, b = _rand((16, 16), rng), _rand((16, 16), rng)
+        monkeypatch.setenv("MKL_BLAS_COMPUTE_MODE", "FLOAT_TO_TF32")
+        via_env = gemm(a, b)
+        monkeypatch.delenv("MKL_BLAS_COMPUTE_MODE")
+        explicit = gemm(a, b, mode="FLOAT_TO_TF32")
+        np.testing.assert_array_equal(via_env, explicit)
+
+    def test_bf16_output_deterministic(self, rng):
+        a, b = _rand((32, 32), rng), _rand((32, 32), rng)
+        x = gemm(a, b, mode="FLOAT_TO_BF16")
+        y = gemm(a, b, mode="FLOAT_TO_BF16")
+        np.testing.assert_array_equal(x, y)
+
+
+class TestHooks:
+    def test_call_site_tagging(self, rng):
+        a, b = _rand((8, 8), rng), _rand((8, 8), rng)
+        with mkl_verbose() as log:
+            with call_site("nlp_prop"):
+                gemm(a, b)
+            gemm(a, b)
+        assert log[0].site == "nlp_prop"
+        assert log[1].site == ""
+
+    def test_device_hook_receives_shape_and_mode(self, rng):
+        calls = []
+
+        class FakeDevice:
+            def record_gemm(self, routine, m, n, k, mode, site=""):
+                calls.append((routine, m, n, k, mode, site))
+                return 1.25e-3
+
+        a = _rand((6, 10), rng, np.complex64)
+        b = _rand((10, 4), rng, np.complex64)
+        with use_device(FakeDevice()):
+            with mkl_verbose() as log:
+                gemm(a, b, mode="FLOAT_TO_BF16")
+        assert calls == [("cgemm", 6, 4, 10, ComputeMode.FLOAT_TO_BF16, "")]
+        assert log[0].model_seconds == 1.25e-3
+        assert log[0].reported_seconds == 1.25e-3
+
+    def test_device_detached_after_context(self, rng):
+        from repro.blas.gemm import current_device
+
+        with use_device(object()):
+            pass
+        assert current_device() is None

@@ -1,0 +1,79 @@
+"""Unit tests: level-1 BLAS helpers."""
+
+import numpy as np
+import pytest
+
+from repro.blas.level1 import asum, axpy, dotc, dotu, nrm2, scal
+
+
+class TestAxpy:
+    def test_in_place_update(self, rng):
+        x = rng.standard_normal(10).astype(np.float32)
+        y = rng.standard_normal(10).astype(np.float32)
+        expect = 2.0 * x + y
+        out = axpy(2.0, x, y)
+        assert out is y
+        np.testing.assert_allclose(y, expect, rtol=1e-6)
+
+    def test_complex_alpha(self, rng):
+        x = (rng.standard_normal(5) + 1j * rng.standard_normal(5)).astype(np.complex64)
+        y = np.zeros(5, np.complex64)
+        axpy(1j, x, y)
+        np.testing.assert_allclose(y, 1j * x, rtol=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            axpy(1.0, np.zeros(3), np.zeros(4))
+
+
+class TestDots:
+    def test_dotc_conjugates_first(self):
+        x = np.array([1j], dtype=np.complex64)
+        y = np.array([1j], dtype=np.complex64)
+        assert dotc(x, y) == pytest.approx(1.0)
+
+    def test_dotu_does_not_conjugate(self):
+        x = np.array([1j], dtype=np.complex64)
+        y = np.array([1j], dtype=np.complex64)
+        assert dotu(x, y) == pytest.approx(-1.0)
+
+    def test_real_dot(self, rng):
+        x = rng.standard_normal(20)
+        y = rng.standard_normal(20)
+        assert dotc(x, y) == pytest.approx(float(x @ y))
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dotc(np.zeros(3), np.zeros(5))
+        with pytest.raises(ValueError):
+            dotu(np.zeros(3), np.zeros(5))
+
+
+class TestNorms:
+    def test_nrm2_real(self):
+        assert nrm2(np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_nrm2_complex(self):
+        assert nrm2(np.array([3.0 + 4.0j], dtype=np.complex64)) == pytest.approx(5.0)
+
+    def test_nrm2_fp64_accumulation_stability(self):
+        # Many small fp32 values: naive fp32 accumulation would lose
+        # bits; fp64 accumulation keeps 7+ digits.
+        x = np.full(10_000_000, 1e-3, dtype=np.float32)
+        assert nrm2(x) == pytest.approx(np.sqrt(10_000_000) * 1e-3, rel=1e-6)
+
+    def test_asum_complex_is_l1_of_parts(self):
+        x = np.array([3.0 - 4.0j], dtype=np.complex64)
+        assert asum(x) == pytest.approx(7.0)
+
+    def test_asum_real(self):
+        assert asum(np.array([-1.0, 2.0, -3.0])) == pytest.approx(6.0)
+
+
+class TestScal:
+    def test_in_place_scaling(self, rng):
+        x = rng.standard_normal(8).astype(np.float32)
+        expect = 3.0 * x
+        out = scal(3.0, x)
+        assert out is x
+        np.testing.assert_allclose(x, expect, rtol=1e-6)

@@ -1,0 +1,141 @@
+"""Unit tests: compute-mode vocabulary and selection priority."""
+
+import threading
+
+import pytest
+
+from repro.blas.modes import (
+    ComputeMode,
+    MKL_COMPUTE_MODE_ENV,
+    UnknownComputeModeError,
+    compute_mode,
+    get_compute_mode,
+    mode_from_env,
+    resolve_mode,
+    set_compute_mode,
+)
+from repro.types import Precision
+
+
+@pytest.fixture(autouse=True)
+def _reset(monkeypatch):
+    monkeypatch.delenv(MKL_COMPUTE_MODE_ENV, raising=False)
+    set_compute_mode(None)
+    yield
+    set_compute_mode(None)
+
+
+class TestModeProperties:
+    def test_table2_component_products(self):
+        assert ComputeMode.FLOAT_TO_BF16.n_component_products == 1
+        assert ComputeMode.FLOAT_TO_BF16X2.n_component_products == 3
+        assert ComputeMode.FLOAT_TO_BF16X3.n_component_products == 6
+        assert ComputeMode.FLOAT_TO_TF32.n_component_products == 1
+
+    def test_component_precisions(self):
+        assert ComputeMode.FLOAT_TO_BF16.component_precision is Precision.BF16
+        assert ComputeMode.FLOAT_TO_BF16X3.component_precision is Precision.BF16
+        assert ComputeMode.FLOAT_TO_TF32.component_precision is Precision.TF32
+        assert ComputeMode.COMPLEX_3M.component_precision is None
+        assert ComputeMode.STANDARD.component_precision is None
+
+    def test_low_precision_flags(self):
+        lows = {m for m in ComputeMode if m.is_low_precision}
+        assert lows == {
+            ComputeMode.FLOAT_TO_BF16,
+            ComputeMode.FLOAT_TO_BF16X2,
+            ComputeMode.FLOAT_TO_BF16X3,
+            ComputeMode.FLOAT_TO_TF32,
+        }
+
+    def test_only_3m_uses_3m(self):
+        assert ComputeMode.COMPLEX_3M.uses_3m
+        assert not any(m.uses_3m for m in ComputeMode if m is not ComputeMode.COMPLEX_3M)
+
+    def test_env_values_match_paper_table2(self):
+        assert ComputeMode.FLOAT_TO_BF16.env_value == "FLOAT_TO_BF16"
+        assert ComputeMode.FLOAT_TO_BF16X2.env_value == "FLOAT_TO_BF16X2"
+        assert ComputeMode.FLOAT_TO_BF16X3.env_value == "FLOAT_TO_BF16X3"
+        assert ComputeMode.FLOAT_TO_TF32.env_value == "FLOAT_TO_TF32"
+        assert ComputeMode.COMPLEX_3M.env_value == "COMPLEX_3M"
+
+
+class TestParse:
+    def test_parse_canonical(self):
+        assert ComputeMode.parse("FLOAT_TO_BF16") is ComputeMode.FLOAT_TO_BF16
+
+    def test_parse_case_insensitive(self):
+        assert ComputeMode.parse("float_to_tf32") is ComputeMode.FLOAT_TO_TF32
+
+    def test_parse_aliases(self):
+        assert ComputeMode.parse("bf16") is ComputeMode.FLOAT_TO_BF16
+        assert ComputeMode.parse("3M") is ComputeMode.COMPLEX_3M
+        assert ComputeMode.parse("fp32") is ComputeMode.STANDARD
+
+    def test_parse_none_and_empty(self):
+        assert ComputeMode.parse(None) is ComputeMode.STANDARD
+        assert ComputeMode.parse("") is ComputeMode.STANDARD
+
+    def test_parse_passthrough(self):
+        assert ComputeMode.parse(ComputeMode.COMPLEX_3M) is ComputeMode.COMPLEX_3M
+
+    def test_parse_unknown_raises_with_valid_list(self):
+        with pytest.raises(UnknownComputeModeError, match="FLOAT_TO_BF16"):
+            ComputeMode.parse("FLOAT_TO_FP8")
+
+
+class TestSelectionPriority:
+    def test_default_is_standard(self):
+        assert get_compute_mode() is ComputeMode.STANDARD
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(MKL_COMPUTE_MODE_ENV, "FLOAT_TO_BF16X2")
+        assert get_compute_mode() is ComputeMode.FLOAT_TO_BF16X2
+
+    def test_env_empty_string_means_unset(self, monkeypatch):
+        monkeypatch.setenv(MKL_COMPUTE_MODE_ENV, "   ")
+        assert mode_from_env() is None
+
+    def test_global_beats_env(self, monkeypatch):
+        monkeypatch.setenv(MKL_COMPUTE_MODE_ENV, "FLOAT_TO_BF16")
+        set_compute_mode("FLOAT_TO_TF32")
+        assert get_compute_mode() is ComputeMode.FLOAT_TO_TF32
+
+    def test_context_beats_global(self):
+        set_compute_mode("FLOAT_TO_TF32")
+        with compute_mode("COMPLEX_3M"):
+            assert get_compute_mode() is ComputeMode.COMPLEX_3M
+        assert get_compute_mode() is ComputeMode.FLOAT_TO_TF32
+
+    def test_explicit_beats_context(self):
+        with compute_mode("COMPLEX_3M"):
+            assert resolve_mode("FLOAT_TO_BF16") is ComputeMode.FLOAT_TO_BF16
+
+    def test_contexts_nest(self):
+        with compute_mode("FLOAT_TO_BF16"):
+            with compute_mode("FLOAT_TO_TF32"):
+                assert get_compute_mode() is ComputeMode.FLOAT_TO_TF32
+            assert get_compute_mode() is ComputeMode.FLOAT_TO_BF16
+
+    def test_context_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with compute_mode("FLOAT_TO_BF16"):
+                raise RuntimeError("boom")
+        assert get_compute_mode() is ComputeMode.STANDARD
+
+    def test_context_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["inner"] = get_compute_mode()
+
+        with compute_mode("FLOAT_TO_BF16"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["inner"] is ComputeMode.STANDARD
+
+    def test_clear_global(self):
+        set_compute_mode("COMPLEX_3M")
+        set_compute_mode(None)
+        assert get_compute_mode() is ComputeMode.STANDARD

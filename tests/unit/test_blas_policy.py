@@ -1,0 +1,114 @@
+"""Unit tests: per-call-site compute-mode policies (future-work feature)."""
+
+import numpy as np
+import pytest
+
+from repro.blas.gemm import call_site, gemm
+from repro.blas.modes import ComputeMode, compute_mode
+from repro.blas.policy import SitePolicy, active_policy
+from repro.blas.verbose import mkl_verbose
+
+pytestmark = pytest.mark.usefixtures("clean_mode_env")
+
+
+@pytest.fixture()
+def ab(rng):
+    a = rng.standard_normal((24, 24)).astype(np.float32)
+    b = rng.standard_normal((24, 24)).astype(np.float32)
+    return a, b
+
+
+class TestPolicyObject:
+    def test_mode_lookup(self):
+        p = SitePolicy({"nlp_prop": "FLOAT_TO_BF16X3"}, default="FLOAT_TO_BF16")
+        assert p.mode_for("nlp_prop") is ComputeMode.FLOAT_TO_BF16X3
+        assert p.mode_for("remap_occ") is ComputeMode.FLOAT_TO_BF16
+
+    def test_no_default_returns_none(self):
+        p = SitePolicy({"nlp_prop": "FLOAT_TO_BF16"})
+        assert p.mode_for("other") is None
+
+    def test_invalid_mode_rejected_at_construction(self):
+        with pytest.raises(Exception):
+            SitePolicy({"x": "FLOAT_TO_FP8"})
+
+    def test_active_stack(self):
+        p1 = SitePolicy({"a": "FLOAT_TO_BF16"})
+        p2 = SitePolicy({"a": "FLOAT_TO_TF32"})
+        assert active_policy() is None
+        with p1.active():
+            assert active_policy() is p1
+            with p2.active():
+                assert active_policy() is p2
+            assert active_policy() is p1
+        assert active_policy() is None
+
+    def test_repr(self):
+        p = SitePolicy({"nlp_prop": "FLOAT_TO_BF16"}, default="STANDARD")
+        assert "nlp_prop=FLOAT_TO_BF16" in repr(p)
+
+
+class TestPolicyDispatch:
+    def test_site_specific_modes_applied(self, ab):
+        a, b = ab
+        policy = SitePolicy(
+            {"nlp_prop": "FLOAT_TO_BF16", "remap_occ": "STANDARD"},
+        )
+        with policy.active(), mkl_verbose() as log:
+            with call_site("nlp_prop"):
+                out_nlp = gemm(a, b)
+            with call_site("remap_occ"):
+                out_remap = gemm(a, b)
+        assert log[0].mode is ComputeMode.FLOAT_TO_BF16
+        assert log[1].mode is ComputeMode.STANDARD
+        np.testing.assert_array_equal(out_nlp, gemm(a, b, mode="FLOAT_TO_BF16"))
+        np.testing.assert_array_equal(out_remap, gemm(a, b, mode="STANDARD"))
+
+    def test_default_covers_unlisted_sites(self, ab):
+        a, b = ab
+        policy = SitePolicy({}, default="FLOAT_TO_TF32")
+        with policy.active(), mkl_verbose() as log:
+            with call_site("calc_energy"):
+                gemm(a, b)
+        assert log[0].mode is ComputeMode.FLOAT_TO_TF32
+
+    def test_explicit_mode_beats_policy(self, ab):
+        a, b = ab
+        policy = SitePolicy({"s": "FLOAT_TO_BF16"})
+        with policy.active(), mkl_verbose() as log:
+            with call_site("s"):
+                out = gemm(a, b, mode="FLOAT_TO_TF32")
+        assert log[0].mode is ComputeMode.FLOAT_TO_TF32
+        np.testing.assert_array_equal(out, gemm(a, b, mode="FLOAT_TO_TF32"))
+
+    def test_policy_beats_ambient_context(self, ab):
+        a, b = ab
+        policy = SitePolicy({"s": "FLOAT_TO_BF16"})
+        with compute_mode("FLOAT_TO_TF32"), policy.active(), mkl_verbose() as log:
+            with call_site("s"):
+                gemm(a, b)
+            with call_site("unlisted"):
+                gemm(a, b)
+        assert log[0].mode is ComputeMode.FLOAT_TO_BF16
+        # No policy opinion -> ambient context applies.
+        assert log[1].mode is ComputeMode.FLOAT_TO_TF32
+
+    def test_mixed_precision_simulation_runs(self):
+        """The future-work experiment: different modes per LFD function."""
+        from repro.dcmesh.simulation import Simulation, SimulationConfig
+
+        cfg = SimulationConfig.small_test(
+            mesh_shape=(10, 10, 10), n_orb=20, n_qd_steps=6, nscf=6
+        )
+        sim = Simulation(cfg)
+        sim.setup()
+        policy = SitePolicy(
+            {"nlp_prop": "FLOAT_TO_BF16X3", "calc_energy": "FLOAT_TO_BF16",
+             "remap_occ": "FLOAT_TO_BF16"},
+        )
+        with policy.active(), mkl_verbose() as log:
+            result = sim.run()
+        by_site = {r.site: r.mode for r in log}
+        assert by_site["nlp_prop"] is ComputeMode.FLOAT_TO_BF16X3
+        assert by_site["calc_energy"] is ComputeMode.FLOAT_TO_BF16
+        assert len(result.records) == 7

@@ -1,0 +1,176 @@
+"""Unit tests: bit-exact FP32 -> BF16/TF32 rounding and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.blas.rounding import (
+    max_relative_error,
+    round_fp32_to_bf16,
+    round_fp32_to_tf32,
+    round_mantissa,
+    round_to_precision,
+    split_bf16,
+    split_terms,
+    split_tf32,
+)
+from repro.types import Precision
+
+
+class TestRoundMantissa:
+    def test_bf16_drops_low_16_bits(self):
+        x = np.array([1.0 + 2**-20], dtype=np.float32)
+        out = round_fp32_to_bf16(x)
+        bits = out.view(np.uint32)
+        assert bits[0] & 0xFFFF == 0
+
+    def test_tf32_drops_low_13_bits(self):
+        x = np.array([1.0 + 2**-20], dtype=np.float32)
+        out = round_fp32_to_tf32(x)
+        bits = out.view(np.uint32)
+        assert bits[0] & 0x1FFF == 0
+
+    def test_exact_values_unchanged(self):
+        # Values already on the BF16 grid survive untouched.
+        exact = np.array([1.0, 0.5, -2.0, 1.5, 0.0, 240.0], dtype=np.float32)
+        np.testing.assert_array_equal(round_fp32_to_bf16(exact), exact)
+
+    def test_round_to_nearest_even_ties(self):
+        # 1 + 2^-8 is exactly between BF16 neighbours 1.0 and 1+2^-7;
+        # RNE picks the even mantissa (1.0).
+        x = np.array([1.0 + 2**-8], dtype=np.float32)
+        assert round_fp32_to_bf16(x)[0] == np.float32(1.0)
+        # 1 + 3*2^-8 is between 1+2^-7 and 1+2^-6; even is 1+2^-6.
+        y = np.array([1.0 + 3 * 2**-8], dtype=np.float32)
+        assert round_fp32_to_bf16(y)[0] == np.float32(1.0 + 2**-6)
+
+    def test_rounding_error_bound_bf16(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1e6, 1e6, 10_000).astype(np.float32)
+        x = x[x != 0]
+        rel = np.abs((round_fp32_to_bf16(x) - x) / x)
+        assert rel.max() <= max_relative_error(7)
+
+    def test_rounding_error_bound_tf32(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1e6, 1e6, 10_000).astype(np.float32)
+        x = x[x != 0]
+        rel = np.abs((round_fp32_to_tf32(x) - x) / x)
+        assert rel.max() <= max_relative_error(10)
+
+    def test_mantissa_overflow_carries_to_exponent(self):
+        # Just below 2.0: rounds up to exactly 2.0 (exponent bump).
+        x = np.array([2.0 - 2**-9], dtype=np.float32)
+        assert round_fp32_to_bf16(x)[0] == np.float32(2.0)
+
+    def test_inf_and_nan_pass_through(self):
+        x = np.array([np.inf, -np.inf, np.nan], dtype=np.float32)
+        out = round_fp32_to_bf16(x)
+        assert np.isinf(out[0]) and out[0] > 0
+        assert np.isinf(out[1]) and out[1] < 0
+        assert np.isnan(out[2])
+
+    def test_nan_payload_preserved(self):
+        x = np.array([np.nan], dtype=np.float32)
+        out = round_fp32_to_tf32(x)
+        assert x.view(np.uint32)[0] == out.view(np.uint32)[0]
+
+    def test_negative_values_symmetric(self):
+        x = np.array([1 / 3, 3.14159], dtype=np.float32)
+        np.testing.assert_array_equal(round_fp32_to_bf16(-x), -round_fp32_to_bf16(x))
+
+    def test_denormals_do_not_crash(self):
+        x = np.array([1e-40, -1e-40, 1e-45], dtype=np.float32)
+        out = round_fp32_to_bf16(x)
+        assert np.all(np.isfinite(out))
+
+    def test_keep_23_is_identity(self):
+        x = np.array([1 / 3, 2.7, -9.1], dtype=np.float32)
+        np.testing.assert_array_equal(round_mantissa(x, 23), x)
+
+    def test_keep_bits_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="keep_bits"):
+            round_mantissa(np.zeros(1, np.float32), 24)
+        with pytest.raises(ValueError, match="keep_bits"):
+            round_mantissa(np.zeros(1, np.float32), -1)
+
+    def test_preserves_shape_and_dtype(self):
+        x = np.ones((3, 4, 5), dtype=np.float32) / 3
+        out = round_fp32_to_bf16(x)
+        assert out.shape == (3, 4, 5)
+        assert out.dtype == np.float32
+
+    def test_float64_input_is_cast_first(self):
+        x = np.array([1 / 3], dtype=np.float64)
+        out = round_fp32_to_bf16(x)
+        assert out.dtype == np.float32
+
+
+class TestRoundToPrecision:
+    def test_fp32_passthrough(self):
+        x = np.array([1 / 3], dtype=np.float32)
+        np.testing.assert_array_equal(round_to_precision(x, Precision.FP32), x)
+
+    def test_fp16_narrows_exponent(self):
+        x = np.array([1e10], dtype=np.float32)  # overflows FP16
+        out = round_to_precision(x, Precision.FP16)
+        assert np.isinf(out[0])
+
+    def test_bf16_matches_direct(self):
+        x = np.array([1 / 3], dtype=np.float32)
+        np.testing.assert_array_equal(
+            round_to_precision(x, Precision.BF16), round_fp32_to_bf16(x)
+        )
+
+    def test_int8_rejected(self):
+        with pytest.raises(ValueError):
+            round_to_precision(np.zeros(1, np.float32), Precision.INT8)
+
+
+class TestSplitTerms:
+    def test_three_term_bf16_reconstruction_is_exact_for_most_values(self):
+        # 7 bits * 3 terms = 21+ bits: all but a residual sliver of the
+        # 24-bit significand is captured; reconstruction error is tiny.
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(5000).astype(np.float32)
+        t1, t2, t3 = split_bf16(x, 3)
+        err = np.abs((t1 + t2 + t3) - x)
+        assert err.max() <= 2**-22 * np.abs(x).max()
+
+    def test_term_magnitudes_decay(self):
+        x = np.array([1 / 3], dtype=np.float32)
+        t1, t2, t3 = split_bf16(x, 3)
+        assert abs(t1[0]) > abs(t2[0]) > abs(t3[0])
+
+    def test_single_term_equals_rounding(self):
+        x = np.array([1 / 3, 2.5, -7.7], dtype=np.float32)
+        (t1,) = split_bf16(x, 1)
+        np.testing.assert_array_equal(t1, round_fp32_to_bf16(x))
+
+    def test_two_term_residual_bound(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0.5, 2.0, 1000).astype(np.float32)
+        t1, t2 = split_bf16(x, 2)
+        rel = np.abs((t1 + t2) - x) / np.abs(x)
+        # Each term removes ~8 bits: two terms leave < 2^-15 relative.
+        assert rel.max() <= 2**-15
+
+    def test_tf32_split_single(self):
+        x = np.array([1 / 3], dtype=np.float32)
+        (t,) = split_tf32(x)
+        np.testing.assert_array_equal(t, round_fp32_to_tf32(x))
+
+    def test_zero_terms_rejected(self):
+        with pytest.raises(ValueError, match="n_terms"):
+            split_terms(np.zeros(1, np.float32), 7, 0)
+
+    def test_exact_bf16_values_split_trivially(self):
+        x = np.array([1.5, -0.25], dtype=np.float32)
+        t1, t2 = split_bf16(x, 2)
+        np.testing.assert_array_equal(t1, x)
+        np.testing.assert_array_equal(t2, np.zeros_like(x))
+
+
+class TestErrorBound:
+    def test_bound_values(self):
+        assert max_relative_error(7) == 2**-8
+        assert max_relative_error(10) == 2**-11

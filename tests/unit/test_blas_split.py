@@ -1,0 +1,86 @@
+"""Unit tests: split-precision GEMM engines."""
+
+import numpy as np
+import pytest
+
+from repro.blas.split import component_pairs, split_gemm_real
+from repro.types import Precision
+
+
+class TestComponentPairs:
+    def test_counts_match_table2(self):
+        assert len(component_pairs(1)) == 1
+        assert len(component_pairs(2)) == 3
+        assert len(component_pairs(3)) == 6
+
+    def test_pair_condition(self):
+        for n in (1, 2, 3, 4):
+            for i, j in component_pairs(n):
+                assert i + j <= n + 1
+                assert 1 <= i <= n and 1 <= j <= n
+
+    def test_most_significant_first(self):
+        pairs = component_pairs(3)
+        sums = [i + j for i, j in pairs]
+        assert sums == sorted(sums)
+
+    def test_first_pair_is_leading(self):
+        assert component_pairs(3)[0] == (1, 1)
+
+
+class TestSplitGemm:
+    def test_more_terms_more_accurate(self, rng):
+        a = rng.standard_normal((48, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 24)).astype(np.float32)
+        ref = a.astype(np.float64) @ b.astype(np.float64)
+        errs = []
+        for n in (1, 2, 3):
+            out = split_gemm_real(a, b, Precision.BF16, n)
+            errs.append(np.abs(out - ref).max())
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_single_term_equals_rounded_product(self, rng):
+        from repro.blas.rounding import round_fp32_to_bf16
+
+        a = rng.standard_normal((16, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 12)).astype(np.float32)
+        out = split_gemm_real(a, b, Precision.BF16, 1)
+        expect = round_fp32_to_bf16(a) @ round_fp32_to_bf16(b)
+        np.testing.assert_array_equal(out, expect)
+
+    def test_tf32_beats_bf16_single_term(self, rng):
+        a = rng.standard_normal((40, 40)).astype(np.float32)
+        b = rng.standard_normal((40, 40)).astype(np.float32)
+        ref = a.astype(np.float64) @ b.astype(np.float64)
+        e_bf16 = np.abs(split_gemm_real(a, b, Precision.BF16, 1) - ref).max()
+        e_tf32 = np.abs(split_gemm_real(a, b, Precision.TF32, 1) - ref).max()
+        assert e_tf32 < e_bf16
+
+    def test_output_dtype_fp32(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        out = split_gemm_real(a, a, Precision.BF16, 2)
+        assert out.dtype == np.float32
+
+    def test_exact_on_bf16_grid_inputs(self, rng):
+        # Inputs already exactly representable: x1 result equals the
+        # FP32 product bit-for-bit (products are exact in FP32).
+        from repro.blas.rounding import round_fp32_to_bf16
+
+        a = round_fp32_to_bf16(rng.standard_normal((8, 8)).astype(np.float32))
+        b = round_fp32_to_bf16(rng.standard_normal((8, 8)).astype(np.float32))
+        np.testing.assert_array_equal(
+            split_gemm_real(a, b, Precision.BF16, 1), a @ b
+        )
+
+    def test_shape_validation(self, rng):
+        a = rng.standard_normal((4, 5)).astype(np.float32)
+        b = rng.standard_normal((6, 4)).astype(np.float32)
+        with pytest.raises(ValueError, match="inner dimensions"):
+            split_gemm_real(a, b, Precision.BF16, 1)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            split_gemm_real(
+                np.zeros(4, np.float32), np.zeros((4, 4), np.float32),
+                Precision.BF16, 1,
+            )

@@ -1,0 +1,32 @@
+"""Unit tests: the software-measured BLAS sweep path."""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.core.blas_sweep import BlasSweep
+
+
+class TestSoftwareSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return BlasSweep().sweep_software(
+            norbs=(256,), shrink=2048, repeats=2
+        )
+
+    def test_covers_all_modes(self, points):
+        modes = {p.mode for p in points}
+        assert ComputeMode.FLOAT_TO_BF16 in modes
+        assert ComputeMode.COMPLEX_3M in modes
+
+    def test_positive_times(self, points):
+        for p in points:
+            assert p.fp32_seconds > 0 and p.mode_seconds > 0
+
+    def test_split_costs_reflect_component_counts(self, points):
+        # On a CPU the emulation pays for its products: x3 must be
+        # substantially slower than x1.
+        t = {p.mode: p.mode_seconds for p in points}
+        assert t[ComputeMode.FLOAT_TO_BF16X3] > t[ComputeMode.FLOAT_TO_BF16]
+
+    def test_shrink_applied(self, points):
+        assert all(p.k <= 262144 // 2048 + 8 for p in points)

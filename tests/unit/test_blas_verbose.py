@@ -1,0 +1,108 @@
+"""Unit tests: MKL_VERBOSE-style call logging."""
+
+import numpy as np
+import pytest
+
+from repro.blas.gemm import cgemm, sgemm
+from repro.blas.modes import ComputeMode
+from repro.blas.verbose import (
+    VerboseRecord,
+    clear_verbose_log,
+    format_verbose_line,
+    get_verbose_log,
+    mkl_verbose,
+    record_call,
+    verbose_enabled,
+)
+
+pytestmark = pytest.mark.usefixtures("clean_mode_env")
+
+
+def _rec(**over):
+    base = dict(
+        routine="cgemm", trans_a="N", trans_b="N", m=4, n=5, k=6,
+        mode=ComputeMode.STANDARD, seconds=1e-4,
+    )
+    base.update(over)
+    return VerboseRecord(**base)
+
+
+class TestLogging:
+    def test_disabled_by_default(self):
+        assert not verbose_enabled()
+        record_call(_rec())
+        assert get_verbose_log() == []
+
+    def test_context_enables_and_captures(self, rng):
+        a = rng.standard_normal((8, 8)).astype(np.float32)
+        with mkl_verbose() as log:
+            sgemm(a, a)
+            cgemm(a, a)
+        assert [r.routine for r in log] == ["sgemm", "cgemm"]
+        assert log[0].m == log[0].n == log[0].k == 8
+
+    def test_env_variable_enables(self, rng, monkeypatch):
+        clear_verbose_log()
+        monkeypatch.setenv("MKL_VERBOSE", "2")
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        sgemm(a, a)
+        assert len(get_verbose_log()) == 1
+        clear_verbose_log()
+
+    def test_env_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("MKL_VERBOSE", "0")
+        assert not verbose_enabled()
+
+    def test_nested_contexts(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        with mkl_verbose() as outer:
+            sgemm(a, a)
+            with mkl_verbose(clear=False) as inner:
+                sgemm(a, a)
+            assert inner is outer
+            sgemm(a, a)
+        assert len(outer) == 3
+
+    def test_clear_on_entry(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        with mkl_verbose():
+            sgemm(a, a)
+        with mkl_verbose() as log:
+            pass
+        assert log == []
+
+    def test_mode_recorded(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        with mkl_verbose() as log:
+            sgemm(a, a, mode="FLOAT_TO_TF32")
+        assert log[0].mode is ComputeMode.FLOAT_TO_TF32
+
+
+class TestRecordProperties:
+    def test_flops_complex_counts_4m(self):
+        assert _rec(routine="cgemm").flops == 8 * 4 * 5 * 6
+        assert _rec(routine="sgemm").flops == 2 * 4 * 5 * 6
+
+    def test_reported_prefers_model_time(self):
+        r = _rec(seconds=1.0, model_seconds=2.0)
+        assert r.reported_seconds == 2.0
+        assert _rec(seconds=1.0).reported_seconds == 1.0
+
+
+class TestFormatting:
+    def test_line_format_standard(self):
+        line = format_verbose_line(_rec(seconds=1.5e-3))
+        assert line.startswith("MKL_VERBOSE CGEMM(N,N,4,5,6)")
+        assert "1.500ms" in line
+        assert "mode:" not in line
+
+    def test_line_format_mode_and_site(self):
+        line = format_verbose_line(
+            _rec(mode=ComputeMode.FLOAT_TO_BF16, site="remap_occ", seconds=2.0)
+        )
+        assert "mode:FLOAT_TO_BF16" in line
+        assert "site:remap_occ" in line
+        assert "2.000000s" in line
+
+    def test_microsecond_range(self):
+        assert "us" in format_verbose_line(_rec(seconds=5e-6))

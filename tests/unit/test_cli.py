@@ -1,0 +1,61 @@
+"""Unit tests: the ``dcmesh`` simulation CLI."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.cli import main
+from repro.dcmesh.io.output import read_run_log
+
+
+class TestDcmeshCli:
+    def test_small_test_run_to_file(self, tmp_path, capsys):
+        log = tmp_path / "run.log"
+        rc = main(["--small-test", "--steps", "5", "--output", str(log),
+                   "--mode", "FLOAT_TO_BF16"])
+        assert rc == 0
+        records = read_run_log(log)
+        assert len(records) == 6
+        err = capsys.readouterr().err
+        assert "converging FP64 ground state" in err.lower() or "SCF" in err
+
+    def test_stdout_log_format(self, capsys):
+        rc = main(["--small-test", "--steps", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("QD ")]
+        assert len(lines) == 4
+        assert out.startswith("# mode: STANDARD")
+
+    def test_mode_flag_recorded_in_header(self, tmp_path):
+        log = tmp_path / "run.log"
+        main(["--small-test", "--steps", "2", "--mode", "bf16",
+              "--output", str(log)])
+        assert "mode: FLOAT_TO_BF16" in log.read_text()
+
+    def test_bad_mode_rejected(self, capsys):
+        rc = main(["--small-test", "--mode", "FLOAT_TO_FP8"])
+        assert rc == 2
+        assert "unknown compute mode" in capsys.readouterr().err
+
+    def test_write_inputs_then_run(self, tmp_path, capsys):
+        deck = tmp_path / "deck"
+        rc = main(["--small-test", "--write-inputs", str(deck)])
+        assert rc == 0
+        for name in ("PTOquick.dc", "CONFIG", "lfd.in"):
+            assert (deck / name).exists()
+        log = tmp_path / "run.log"
+        rc = main(["--input", str(deck), "--steps", "2", "--output", str(log)])
+        assert rc == 0
+        assert len(read_run_log(log)) == 3
+
+    def test_missing_inputs_exit_code(self, tmp_path, capsys):
+        rc = main(["--input", str(tmp_path / "nope"), "--steps", "1"])
+        assert rc == 2
+        assert "cannot load inputs" in capsys.readouterr().err
+
+    def test_verbose_prints_blas_lines(self, tmp_path, capsys):
+        rc = main(["--small-test", "--steps", "1", "--verbose",
+                   "--output", str(tmp_path / "x.log")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "MKL_VERBOSE CGEMM" in err

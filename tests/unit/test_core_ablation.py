@@ -1,0 +1,89 @@
+"""Unit tests: the ablation studies."""
+
+import numpy as np
+import pytest
+
+from repro.core.ablation import (
+    accumulation_precision_ablation,
+    complex_3m_cancellation,
+    device_sensitivity,
+    scf_cadence_ablation,
+    split_terms_pareto,
+)
+
+
+class TestSplitTermsPareto:
+    def test_accuracy_cost_tradeoff(self):
+        rows = split_terms_pareto()
+        errors = [r[1] for r in rows]
+        times = [r[2] for r in rows]
+        # More terms: strictly more accurate, strictly slower.
+        assert errors[0] > errors[1] > errors[2]
+        assert times[0] < times[1] < times[2]
+
+    def test_modes_in_order(self):
+        names = [r[0] for r in split_terms_pareto()]
+        assert names == ["FLOAT_TO_BF16", "FLOAT_TO_BF16X2", "FLOAT_TO_BF16X3"]
+
+
+class TestAccumulationAblation:
+    def test_fp32_accumulation_is_size_independent(self):
+        rows = accumulation_precision_ablation()
+        good = [r[1] for r in rows]
+        # No growth with k.
+        assert good[-1] <= 2 * good[0]
+
+    def test_bf16_accumulation_grows_with_k(self):
+        rows = accumulation_precision_ablation()
+        bad = [r[2] for r in rows]
+        assert bad[-1] > 3 * bad[0]
+
+    def test_bf16_accumulation_always_worse(self):
+        for k, good, bad in accumulation_precision_ablation():
+            assert bad > good, k
+
+
+class TestCancellationAblation:
+    def test_3m_worse_under_cancellation(self):
+        out = complex_3m_cancellation()
+        assert out["gemm_3m"] > out["gemm_4m"]
+
+    def test_errors_positive(self):
+        out = complex_3m_cancellation()
+        assert out["gemm_3m"] > 0 and out["gemm_4m"] > 0
+
+
+class TestDeviceSensitivity:
+    def test_bandwidth_moves_the_anchor(self):
+        rows = device_sensitivity(bandwidth_efficiencies=(0.5, 0.9),
+                                  bf16_caps=(0.45,))
+        speeds = {bw: s for bw, cap, s in rows}
+        # The anchor call is memory-bound for BF16: more bandwidth, more
+        # speedup.
+        assert speeds[0.9] > speeds[0.5]
+
+    def test_power_cap_barely_matters_when_memory_bound(self):
+        rows = device_sensitivity(bandwidth_efficiencies=(0.7,),
+                                  bf16_caps=(0.45, 0.65))
+        speeds = [s for _, _, s in rows]
+        assert speeds[1] == pytest.approx(speeds[0], rel=0.05)
+
+    def test_grid_complete(self):
+        rows = device_sensitivity()
+        assert len(rows) == 9
+
+
+@pytest.mark.slow
+class TestScfCadence:
+    def test_no_resets_accumulate_more_gram_error(self):
+        # Frequent FP64 resets bound the truncation buildup: the
+        # paper's central stability argument.  Compare the extremes so
+        # the signal clears the FP32 storage-noise floor.
+        rows = scf_cadence_ablation(cadences=(10, 120), n_steps=120)
+        gram = {nscf: g for nscf, g, _ in rows}
+        assert gram[120] > 1.5 * gram[10]
+
+    def test_rows_cover_requested_cadences(self):
+        rows = scf_cadence_ablation(cadences=(20, 40), n_steps=40)
+        assert [r[0] for r in rows] == [20, 40]
+        assert all(np.isfinite(r[1]) and np.isfinite(r[2]) for r in rows)

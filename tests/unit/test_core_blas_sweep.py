@@ -1,0 +1,67 @@
+"""Unit tests: Fig. 3b / Tables VI-VII sweep machinery."""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.core.blas_sweep import (
+    BlasSweep,
+    FIG3B_NORBS,
+    SWEEP_MODES,
+    remap_gemm_shape,
+)
+
+
+class TestShapes:
+    def test_table7_values(self):
+        # m pinned at 128, k at 64^3, n = N_orb - 128.
+        assert remap_gemm_shape(256) == (128, 128, 262144)
+        assert remap_gemm_shape(1024) == (128, 896, 262144)
+        assert remap_gemm_shape(2048) == (128, 1920, 262144)
+        assert remap_gemm_shape(4096) == (128, 3968, 262144)
+
+    def test_norb_must_exceed_occupied(self):
+        with pytest.raises(ValueError, match="exceed"):
+            remap_gemm_shape(128)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return BlasSweep()
+
+    def test_point_count(self, sweep):
+        points = sweep.sweep()
+        assert len(points) == len(FIG3B_NORBS) * len(SWEEP_MODES)
+
+    def test_speedups_positive(self, sweep):
+        assert all(p.speedup > 0 for p in sweep.sweep())
+
+    def test_bf16_monotone_in_norb(self, sweep):
+        pts = [p for p in sweep.sweep() if p.mode is ComputeMode.FLOAT_TO_BF16]
+        speedups = [p.speedup for p in sorted(pts, key=lambda p: p.n_orb)]
+        assert speedups == sorted(speedups)
+
+    def test_table6_anchor(self, sweep):
+        rows = {r[0]: (r[1], r[2]) for r in sweep.table6()}
+        observed, theoretical = rows["FLOAT_TO_BF16"]
+        assert observed == pytest.approx(3.91, abs=0.35)   # the paper's 3.91x
+        assert theoretical == pytest.approx(16.0, rel=0.02)
+        # Observed always below theoretical.
+        for obs, theo in rows.values():
+            assert obs < theo + 1e-9
+
+    def test_table6_ordering(self, sweep):
+        rows = {r[0]: r[1] for r in sweep.table6()}
+        assert (
+            rows["FLOAT_TO_BF16"]
+            > rows["FLOAT_TO_TF32"]
+            > rows["FLOAT_TO_BF16X2"]
+            > rows["FLOAT_TO_BF16X3"]
+            > rows["COMPLEX_3M"]
+            > 1.0
+        )
+
+    def test_table7_rows(self, sweep):
+        rows = sweep.table7()
+        assert rows[0] == (256, 128, 128, 262144)
+        assert all(r[1] == 128 and r[3] == 262144 for r in rows)

@@ -1,0 +1,84 @@
+"""Unit tests: deviation-from-FP32 series machinery."""
+
+import numpy as np
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.core.deviation import DeviationSeries, deviation_from_reference
+
+
+class _FakeResult:
+    def __init__(self, cols):
+        self._cols = cols
+
+    def column(self, name):
+        return np.asarray(self._cols[name], dtype=np.float64)
+
+
+def _results():
+    t = np.linspace(0, 1, 5)
+    ref = _FakeResult({"time_fs": t, "ekin": np.array([1, 2, 3, 4, 5.0])})
+    alt = _FakeResult({"time_fs": t, "ekin": np.array([1, 2.1, 3.2, 4.3, 5.4])})
+    return {
+        ComputeMode.STANDARD: ref,
+        ComputeMode.FLOAT_TO_BF16: alt,
+    }
+
+
+class TestDeviationFromReference:
+    def test_absolute_deviation(self):
+        out = deviation_from_reference(_results(), observables=("ekin",))
+        (s,) = out["ekin"]
+        assert s.mode is ComputeMode.FLOAT_TO_BF16
+        np.testing.assert_allclose(s.deviation, [0, 0.1, 0.2, 0.3, 0.4], atol=1e-12)
+
+    def test_reference_not_in_series(self):
+        out = deviation_from_reference(_results(), observables=("ekin",))
+        assert len(out["ekin"]) == 1
+
+    def test_missing_reference_raises(self):
+        res = _results()
+        del res[ComputeMode.STANDARD]
+        with pytest.raises(ValueError, match="reference mode"):
+            deviation_from_reference(res, observables=("ekin",))
+
+    def test_mismatched_lengths_raise(self):
+        res = _results()
+        res[ComputeMode.FLOAT_TO_BF16] = _FakeResult(
+            {"time_fs": np.zeros(3), "ekin": np.zeros(3)}
+        )
+        with pytest.raises(ValueError, match="not comparable"):
+            deviation_from_reference(res, observables=("ekin",))
+
+
+class TestSeriesProperties:
+    def _series(self):
+        return DeviationSeries(
+            observable="ekin",
+            mode=ComputeMode.FLOAT_TO_BF16,
+            time_fs=np.linspace(0, 1, 4),
+            deviation=np.array([0.0, 1e-3, 2e-3, 4e-3]),
+            reference=np.array([1.0, 2.0, 4.0, 8.0]),
+        )
+
+    def test_max_and_final(self):
+        s = self._series()
+        assert s.max_deviation == 4e-3
+        assert s.final_deviation == 4e-3
+
+    def test_relative(self):
+        s = self._series()
+        np.testing.assert_allclose(s.relative(), [0, 5e-4, 5e-4, 5e-4])
+
+    def test_log10_with_floor(self):
+        s = self._series()
+        logs = s.log10(floor=1e-6)
+        assert logs[0] == pytest.approx(-6.0)
+        assert logs[-1] == pytest.approx(np.log10(4e-3))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            DeviationSeries(
+                observable="x", mode=ComputeMode.COMPLEX_3M,
+                time_fs=np.zeros(3), deviation=np.zeros(4), reference=np.zeros(4),
+            )

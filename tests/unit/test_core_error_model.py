@@ -1,0 +1,60 @@
+"""Unit tests: Section V-B's analytic error bound and its verification."""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.core.error_model import (
+    input_rounding_bound,
+    multiplication_error_bound,
+    observed_gemm_relative_error,
+)
+from repro.types import Precision
+
+
+class TestAnalyticBounds:
+    def test_input_bounds(self):
+        assert input_rounding_bound(Precision.BF16) == 2**-8
+        assert input_rounding_bound(Precision.TF32) == 2**-11
+
+    def test_multiplication_bound_first_order(self):
+        b = multiplication_error_bound(Precision.BF16)
+        assert b == pytest.approx(2**-7, rel=0.01)
+
+
+class TestEmpirical:
+    def test_bf16_within_bound_positive_data(self):
+        err = observed_gemm_relative_error(ComputeMode.FLOAT_TO_BF16, 64, 64, 64)
+        assert err <= multiplication_error_bound(Precision.BF16) * 1.5
+
+    def test_tf32_within_bound_positive_data(self):
+        err = observed_gemm_relative_error(ComputeMode.FLOAT_TO_TF32, 64, 64, 64)
+        assert err <= multiplication_error_bound(Precision.TF32) * 1.5
+
+    def test_error_independent_of_matrix_size(self):
+        # The paper's headline claim of Section V-B: relative error of
+        # the BF16 mode does not grow with the GEMM size.
+        errs = [
+            observed_gemm_relative_error(ComputeMode.FLOAT_TO_BF16, 32, 32, k)
+            for k in (32, 256, 2048)
+        ]
+        bound = multiplication_error_bound(Precision.BF16)
+        assert all(e <= 1.5 * bound for e in errs)
+        # "Independent of size" = no growth with k (in fact the mean of
+        # same-sign products tightens the relative error slightly).
+        assert errs[-1] <= 2 * errs[0]
+
+    def test_cancellation_breaks_the_bound(self):
+        # With mixed-sign data individual outputs can cancel and the
+        # elementwise relative error can exceed the same-sign bound.
+        err_pos = observed_gemm_relative_error(
+            ComputeMode.FLOAT_TO_BF16, 48, 48, 48, positive=True
+        )
+        err_mix = observed_gemm_relative_error(
+            ComputeMode.FLOAT_TO_BF16, 48, 48, 48, positive=False
+        )
+        assert err_mix > err_pos
+
+    def test_bf16x3_orders_of_magnitude_tighter(self):
+        e1 = observed_gemm_relative_error(ComputeMode.FLOAT_TO_BF16, 64, 64, 64)
+        e3 = observed_gemm_relative_error(ComputeMode.FLOAT_TO_BF16X3, 64, 64, 64)
+        assert e3 < e1 / 100

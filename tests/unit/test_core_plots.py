@@ -1,0 +1,77 @@
+"""Unit tests: ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.core.plots import ascii_plot, plot_deviation_series
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        x = np.linspace(0, 1, 20)
+        out = ascii_plot(x, {"a": x**2}, title="T", ylabel="val")
+        assert out.startswith("T")
+        assert "*=a" in out
+        assert "y: val" in out
+        assert "*" in out
+
+    def test_multiple_series_distinct_markers(self):
+        x = np.linspace(0, 1, 10)
+        out = ascii_plot(x, {"up": x, "down": 1 - x})
+        assert "*=up" in out and "o=down" in out
+        assert "o" in out.splitlines()[0] or "o" in out
+
+    def test_log_axis(self):
+        x = np.linspace(0, 1, 10)
+        out = ascii_plot(x, {"a": 10.0 ** (-5 * x)}, logy=True, ylabel="dev")
+        assert "log10 dev" in out
+        # Log range endpoints appear on the axis.
+        assert "-5" in out and "+0" in out or "-0" in out
+
+    def test_constant_series_does_not_crash(self):
+        x = np.linspace(0, 1, 5)
+        out = ascii_plot(x, {"flat": np.ones(5)})
+        assert "flat" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="1-D grid"):
+            ascii_plot([1.0], {"a": [1.0]})
+        with pytest.raises(ValueError, match="no series"):
+            ascii_plot([0.0, 1.0], {})
+        with pytest.raises(ValueError, match="shape"):
+            ascii_plot([0.0, 1.0], {"a": [1.0, 2.0, 3.0]})
+
+    def test_dimensions(self):
+        x = np.linspace(0, 1, 30)
+        out = ascii_plot(x, {"a": x}, width=40, height=10)
+        body = [l for l in out.splitlines() if "|" in l]
+        assert len(body) == 10
+
+
+class TestDeviationPlot:
+    def test_from_fake_deviations(self):
+        from repro.blas.modes import ComputeMode
+        from repro.core.deviation import DeviationSeries
+
+        t = np.linspace(0, 1, 25)
+        devs = {
+            "ekin": [
+                DeviationSeries(
+                    observable="ekin", mode=ComputeMode.FLOAT_TO_BF16,
+                    time_fs=t, deviation=1e-3 * (t + 0.01),
+                    reference=np.full(25, 50.0),
+                ),
+                DeviationSeries(
+                    observable="ekin", mode=ComputeMode.COMPLEX_3M,
+                    time_fs=t, deviation=1e-7 * (t + 0.01),
+                    reference=np.full(25, 50.0),
+                ),
+            ]
+        }
+        out = plot_deviation_series(devs, "ekin")
+        assert "FLOAT_TO_BF16" in out and "COMPLEX_3M" in out
+        assert "deviation from FP32: ekin" in out
+
+    def test_missing_observable(self):
+        with pytest.raises(KeyError):
+            plot_deviation_series({}, "ekin")

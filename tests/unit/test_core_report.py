@@ -1,0 +1,57 @@
+"""Unit tests: table/CSV rendering."""
+
+import csv
+
+import pytest
+
+from repro.core.report import format_value, render_table, write_csv
+
+
+class TestFormatValue:
+    def test_floats_compact(self):
+        assert format_value(3.14159) == "3.142"
+        assert format_value(0.0) == "0"
+        assert format_value(1.5e-7) == "1.500e-07"
+        assert format_value(2.3e7) == "2.300e+07"
+
+    def test_non_floats_passthrough(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+        assert format_value(True) == "True"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(("a", "bb"), [(1, 2), (33, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].split() == ["a", "bb"]
+        assert set(lines[2]) <= {"-", " "}
+        assert lines[3].split() == ["1", "2"]
+
+    def test_column_alignment(self):
+        text = render_table(("x",), [("short",), ("longervalue",)])
+        lines = text.splitlines()
+        assert len(lines[1]) == len("longervalue")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row width"):
+            render_table(("a", "b"), [(1,)])
+
+    def test_empty_rows_ok(self):
+        text = render_table(("a", "b"), [])
+        assert "a" in text
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "out.csv"
+        write_csv(path, ("a", "b"), [(1, 2.5), ("x", "y")])
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2.5"], ["x", "y"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "out.csv"
+        write_csv(path, ("a",), [(1,)])
+        assert path.exists()

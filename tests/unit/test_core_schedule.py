@@ -1,0 +1,48 @@
+"""Unit tests: the analytic per-QD-step kernel schedule."""
+
+import pytest
+
+from repro.core.schedule import GemmCall, StreamPass, psi_bytes, qd_step_schedule
+from repro.types import Precision
+
+
+class TestSchedule:
+    def test_nine_blas_calls_per_step(self):
+        # Artifact: "Each QD step contains 9 BLAS calls".
+        gemms, _ = qd_step_schedule(64**3, 256, 128)
+        assert len(gemms) == 9
+
+    def test_three_calls_per_site(self):
+        gemms, _ = qd_step_schedule(64**3, 256, 128)
+        sites = {}
+        for g in gemms:
+            sites[g.site] = sites.get(g.site, 0) + 1
+        assert sites == {"nlp_prop": 3, "calc_energy": 3, "remap_occ": 3}
+
+    def test_table7_shape_present(self):
+        gemms, _ = qd_step_schedule(64**3, 256, 128)
+        remap = [g for g in gemms if g.site == "remap_occ"][0]
+        assert (remap.m, remap.n, remap.k) == (128, 128, 262144)
+
+    def test_routine_follows_storage(self):
+        g32, _ = qd_step_schedule(1000, 16, 8, Precision.FP32)
+        g64, _ = qd_step_schedule(1000, 16, 8, Precision.FP64)
+        assert all(g.routine == "cgemm" for g in g32)
+        assert all(g.routine == "zgemm" for g in g64)
+
+    def test_stream_passes_total(self):
+        _, streams = qd_step_schedule(64**3, 256, 128)
+        # 18 propagation passes + 14 energy + 8 current = 40.
+        assert sum(s.passes for s in streams) == 40
+
+    def test_psi_bytes(self):
+        assert psi_bytes(64**3, 256, Precision.FP32) == 64**3 * 256 * 8
+        assert psi_bytes(64**3, 256, Precision.FP64) == 64**3 * 256 * 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_occ"):
+            qd_step_schedule(1000, 16, 16)
+        with pytest.raises(ValueError, match="n_occ"):
+            qd_step_schedule(1000, 16, 0)
+        with pytest.raises(ValueError, match="n_grid"):
+            qd_step_schedule(0, 16, 8)

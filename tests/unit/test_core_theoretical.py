@@ -1,0 +1,63 @@
+"""Unit tests: static tables (I-V)."""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.core.theoretical import (
+    peak_theoretical_speedup,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        rows = {r[0]: (r[1], r[3]) for r in table1_rows()}
+        assert rows["FP64"] == (26.0, "Vector")
+        assert rows["FP32"] == (26.0, "Vector")
+        assert rows["TF32"] == (209.0, "Matrix")
+        assert rows["BF16"] == (419.0, "Matrix")
+        assert rows["FP16"] == (419.0, "Matrix")
+        assert rows["INT8"] == (839.0, "Matrix")
+
+
+class TestTable2:
+    def test_peak_speedups_match_paper(self):
+        # Table II: 16x, (16/3)x, (8/3)x, 8x, 4/3 — derived from Table
+        # I's peak ratios (419/26 is 16.1, quoted as 16 in the paper).
+        assert peak_theoretical_speedup(ComputeMode.FLOAT_TO_BF16) == pytest.approx(16.0, rel=0.02)
+        assert peak_theoretical_speedup(ComputeMode.FLOAT_TO_BF16X2) == pytest.approx(16 / 3, rel=0.02)
+        assert peak_theoretical_speedup(ComputeMode.FLOAT_TO_BF16X3) == pytest.approx(8 / 3, rel=0.02)
+        assert peak_theoretical_speedup(ComputeMode.FLOAT_TO_TF32) == pytest.approx(8.0, rel=0.02)
+        assert peak_theoretical_speedup(ComputeMode.COMPLEX_3M) == pytest.approx(4 / 3)
+
+    def test_standard_is_unity(self):
+        assert peak_theoretical_speedup(ComputeMode.STANDARD) == 1.0
+
+    def test_rows_cover_all_alternative_modes(self):
+        names = [r[0] for r in table2_rows()]
+        assert names == [
+            "FLOAT_TO_BF16", "FLOAT_TO_BF16X2", "FLOAT_TO_BF16X3",
+            "FLOAT_TO_TF32", "COMPLEX_3M",
+        ]
+
+
+class TestRemainingTables:
+    def test_table3(self):
+        rows = dict(table3_rows())
+        assert rows["Timestep (a.u.)"] == 0.02
+        assert rows["Total Number of QD Steps"] == 21_000
+        assert rows["Total Simulation Time (fs)"] == 10.0
+
+    def test_table4(self):
+        rows = {r[0]: (r[1], r[2]) for r in table4_rows()}
+        assert rows["FP64"] == (11, 52)
+        assert rows["FP32"] == (8, 23)
+        assert rows["TF32"] == (8, 10)
+        assert rows["BF16"] == (8, 7)
+
+    def test_table5(self):
+        assert table5_rows() == [(40, "64x64x64", 256), (135, "96x96x96", 1024)]

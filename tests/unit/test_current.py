@@ -1,0 +1,72 @@
+"""Unit tests: current density."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.current import current_density
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.wavefunction import OrbitalSet
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh((8, 8, 8), (5.0, 5.0, 5.0))
+
+
+class TestCurrent:
+    def test_plane_wave_carries_its_momentum(self, mesh):
+        kvec = mesh.kvecs[3]
+        assert np.abs(kvec).max() > 0
+        psi = (np.exp(1j * mesh.coords @ kvec) / np.sqrt(mesh.volume))[:, None]
+        f = np.array([2.0])
+        pol = kvec / np.linalg.norm(kvec)
+        j = current_density(psi.astype(np.complex128), f, mesh, polarization=pol)
+        expect = 2.0 * np.linalg.norm(kvec) / mesh.volume
+        assert j == pytest.approx(expect, rel=1e-6)
+
+    def test_real_state_has_zero_current(self, mesh, rng):
+        psi = rng.standard_normal((mesh.n_grid, 2)).astype(np.complex128)
+        j = current_density(psi, np.array([2.0, 2.0]), mesh)
+        assert j == pytest.approx(0.0, abs=1e-10)
+
+    def test_field_adds_diamagnetic_term(self, mesh, rng):
+        orb = OrbitalSet.random(mesh, 4, 2, seed=0)
+        a = np.array([0.0, 0.0, 0.4])
+        j0 = current_density(orb.psi, orb.occupations, mesh)
+        ja = current_density(orb.psi, orb.occupations, mesh, a_field=a)
+        expect = j0 + 0.4 * orb.n_electrons / mesh.volume
+        assert ja == pytest.approx(expect, rel=1e-9)
+
+    def test_polarization_projection(self, mesh):
+        kvec = mesh.kvecs[3]
+        psi = (np.exp(1j * mesh.coords @ kvec) / np.sqrt(mesh.volume))[:, None]
+        # Polarisation orthogonal to k: zero current along it.
+        pol = np.array([kvec[1], -kvec[0], 0.0])
+        if np.linalg.norm(pol) == 0:
+            pol = np.array([0.0, 1.0, 0.0])
+        j = current_density(psi.astype(np.complex128), np.array([2.0]), mesh,
+                            polarization=pol)
+        assert j == pytest.approx(0.0, abs=1e-10)
+
+    def test_occupation_scaling_linear(self, mesh):
+        kvec = mesh.kvecs[3]
+        psi = (np.exp(1j * mesh.coords @ kvec) / np.sqrt(mesh.volume))[:, None]
+        pol = kvec / np.linalg.norm(kvec)
+        j1 = current_density(psi.astype(np.complex128), np.array([1.0]), mesh, polarization=pol)
+        j2 = current_density(psi.astype(np.complex128), np.array([2.0]), mesh, polarization=pol)
+        assert j2 == pytest.approx(2 * j1, rel=1e-12)
+
+    def test_validation(self, mesh, rng):
+        psi = rng.standard_normal((mesh.n_grid, 2)).astype(np.complex64)
+        with pytest.raises(ValueError, match="occupations"):
+            current_density(psi, np.zeros(3), mesh)
+        with pytest.raises(ValueError, match="polarization"):
+            current_density(psi, np.zeros(2), mesh, polarization=(0, 0, 0))
+
+    def test_device_books_fft(self, mesh, rng):
+        from repro.gpu import Device
+
+        psi = rng.standard_normal((mesh.n_grid, 2)).astype(np.complex64)
+        dev = Device()
+        current_density(psi, np.array([2.0, 0.0]), mesh, device=dev)
+        assert dev.timeline.events[0].name == "fft_current"

@@ -1,0 +1,121 @@
+"""Unit tests: divide-and-conquer domain solver."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.domains import DCSolver
+from repro.dcmesh.material import build_pto_supercell
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.projectors import build_projectors
+from repro.dcmesh.scf import SCFParams, SCFSolver
+
+
+@pytest.fixture(scope="module")
+def system():
+    material = build_pto_supercell((1, 1, 2), lattice=6.0)
+    mesh = Mesh((8, 8, 16), material.box)
+    return material, mesh
+
+
+@pytest.fixture(scope="module")
+def dc_result(system):
+    material, mesh = system
+    dc = DCSolver(material, mesh, (1, 1, 2), n_domains=2, buffer_layers=0,
+                  scf_params=SCFParams(max_iter=60, tol=1e-6))
+    return dc, dc.solve()
+
+
+class TestPartition:
+    def test_domain_count_and_shapes(self, system):
+        material, mesh = system
+        dc = DCSolver(material, mesh, (1, 1, 2), n_domains=2, buffer_layers=0)
+        domains = dc.partition()
+        assert len(domains) == 2
+        for d in domains:
+            assert d.mesh.shape == (8, 8, 8)
+            assert d.material.n_atoms == 5
+
+    def test_cores_tile_the_supercell(self, system):
+        material, mesh = system
+        dc = DCSolver(material, mesh, (1, 1, 2), n_domains=2, buffer_layers=0)
+        domains = dc.partition()
+        covered = set()
+        for d in domains:
+            width = d.core_z_slice.stop - d.core_z_slice.start
+            covered.update(range(d.global_z_offset, d.global_z_offset + width))
+        assert covered == set(range(mesh.shape[2]))
+
+    def test_buffer_extends_domains(self):
+        # A 4-layer supercell leaves room for 1-layer buffers around a
+        # 1-layer core (wrap-around duplication forbids this on 2).
+        material = build_pto_supercell((1, 1, 4), lattice=6.0)
+        mesh = Mesh((6, 6, 24), material.box)
+        dc = DCSolver(material, mesh, (1, 1, 4), n_domains=4, buffer_layers=1)
+        for d in dc.partition():
+            # Extended slab = 1 core + 2 buffer layers = 3 layers.
+            assert d.mesh.shape[2] == 18
+            assert d.material.n_atoms == 15
+            # Core columns sit after the lower buffer (6 pts/layer).
+            assert d.core_z_slice == slice(6, 12)
+
+    def test_every_atom_in_exactly_one_core(self):
+        material = build_pto_supercell((1, 1, 4), lattice=6.0)
+        mesh = Mesh((6, 6, 24), material.box)
+        dc = DCSolver(material, mesh, (1, 1, 4), n_domains=4, buffer_layers=1)
+        layer_len = material.box[2] / 4
+        total_core = 0
+        for d in dc.partition():
+            total_core += sum(
+                1 for pos in material.positions
+                if int(pos[2] / layer_len) % 4 in d.core_layers
+            )
+        assert total_core == material.n_atoms
+
+    def test_validation(self, system):
+        material, mesh = system
+        with pytest.raises(ValueError, match="divide"):
+            DCSolver(material, mesh, (1, 1, 2), n_domains=3)
+        with pytest.raises(ValueError, match="buffer"):
+            DCSolver(material, mesh, (1, 1, 2), n_domains=2, buffer_layers=2)
+        bad_mesh = Mesh((8, 8, 15), material.box)
+        with pytest.raises(ValueError, match="mesh z-dimension"):
+            DCSolver(material, bad_mesh, (1, 1, 2), n_domains=2)
+
+
+class TestRecombination:
+    def test_electron_count_exact(self, system, dc_result):
+        material, mesh = system
+        _, result = dc_result
+        assert result.n_electrons * mesh.dv == pytest.approx(
+            material.n_electrons, rel=1e-9
+        )
+
+    def test_density_nonnegative(self, dc_result):
+        _, result = dc_result
+        assert result.density.min() >= 0
+
+    def test_density_close_to_monolithic(self, system, dc_result):
+        material, mesh = system
+        _, result = dc_result
+        proj = build_projectors(material, mesh)
+        mono = SCFSolver(mesh, material, proj,
+                         SCFParams(max_iter=80, tol=1e-6)).solve(n_orb=40)
+        rel_l1 = np.abs(result.density - mono.density).sum() / mono.density.sum()
+        # Zero-buffer DC on a 2-cell system: within ~10%.
+        assert rel_l1 < 0.10
+
+    def test_band_energy_extensive(self, system, dc_result):
+        material, mesh = system
+        _, result = dc_result
+        proj = build_projectors(material, mesh)
+        mono = SCFSolver(mesh, material, proj,
+                         SCFParams(max_iter=80, tol=1e-6)).solve(n_orb=40)
+        assert result.band_energy == pytest.approx(mono.band_energy, rel=0.1)
+
+    def test_single_domain_is_monolithic(self, system):
+        material, mesh = system
+        dc = DCSolver(material, mesh, (1, 1, 2), n_domains=1,
+                      scf_params=SCFParams(max_iter=60, tol=1e-6))
+        result = dc.solve()
+        assert len(result.domains) == 1
+        assert result.domains[0].material.n_atoms == material.n_atoms

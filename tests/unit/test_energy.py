@@ -1,0 +1,94 @@
+"""Unit tests: calc_energy."""
+
+import numpy as np
+import pytest
+
+from repro.blas.verbose import mkl_verbose
+from repro.dcmesh.energy import calc_energy
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.wavefunction import OrbitalSet
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mesh = Mesh((8, 8, 8), (5.0, 5.0, 5.0))
+    orb = OrbitalSet.random(mesh, 6, 3, seed=0)
+    rng = np.random.default_rng(1)
+    v = rng.standard_normal(mesh.n_grid) * 0.1
+    h_nl = rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6))
+    h_nl = 0.5 * (h_nl + h_nl.conj().T) * 0.1
+    return mesh, orb, v, h_nl
+
+
+class TestEnergies:
+    def test_kinetic_positive_for_normalised_states(self, setup):
+        mesh, orb, v, h_nl = setup
+        e = calc_energy(orb.psi, orb.psi, orb.occupations, mesh, v, h_nl)
+        assert e.ekin > 0
+
+    def test_plane_wave_kinetic_energy_exact(self, setup):
+        mesh, orb, v, h_nl = setup
+        kvec = mesh.kvecs[9]
+        psi = np.exp(1j * mesh.coords @ kvec)[:, None] / np.sqrt(mesh.volume)
+        psi = np.concatenate([psi, psi], axis=1).astype(np.complex128)
+        f = np.array([2.0, 0.0])
+        e = calc_energy(psi, psi, f, mesh, np.zeros(mesh.n_grid), np.zeros((2, 2)))
+        assert e.ekin == pytest.approx(2.0 * 0.5 * float(kvec @ kvec), rel=1e-6)
+
+    def test_field_increases_kinetic_energy(self, setup):
+        mesh, orb, v, h_nl = setup
+        e0 = calc_energy(orb.psi, orb.psi, orb.occupations, mesh, v, h_nl)
+        ea = calc_energy(
+            orb.psi, orb.psi, orb.occupations, mesh, v, h_nl,
+            a_field=np.array([0.0, 0.0, 0.5]),
+        )
+        # (k+A)^2/2 with random (zero-mean momentum) states: +A^2/2 * N_el.
+        expect = e0.ekin + 0.5 * 0.25 * orb.n_electrons
+        assert ea.ekin == pytest.approx(expect, rel=0.05)
+
+    def test_epot_is_density_contraction(self, setup):
+        mesh, orb, v, h_nl = setup
+        e = calc_energy(orb.psi, orb.psi, orb.occupations, mesh, v, h_nl)
+        expect = float(np.sum(orb.density() * v) * mesh.dv)
+        assert e.epot == pytest.approx(expect, rel=1e-5)
+
+    def test_enl_for_reference_state(self, setup):
+        # psi == psi0: S = I, so E_nl = sum_j f_j (H_nl)_jj.
+        mesh, orb, v, h_nl = setup
+        e = calc_energy(orb.psi, orb.psi, orb.occupations, mesh, v, h_nl)
+        expect = float(np.real(np.diagonal(h_nl)) @ orb.occupations)
+        assert e.enl == pytest.approx(expect, abs=1e-6)
+
+    def test_etot_is_sum(self, setup):
+        mesh, orb, v, h_nl = setup
+        e = calc_energy(orb.psi, orb.psi, orb.occupations, mesh, v, h_nl)
+        assert e.etot == pytest.approx(e.ekin + e.epot + e.enl)
+
+    def test_occupation_shape_checked(self, setup):
+        mesh, orb, v, h_nl = setup
+        with pytest.raises(ValueError, match="occupations"):
+            calc_energy(orb.psi, orb.psi, np.zeros(3), mesh, v, h_nl)
+
+
+class TestBlasStructure:
+    def test_three_tagged_gemms(self, setup, clean_mode_env):
+        mesh, orb, v, h_nl = setup
+        psi32 = orb.psi.astype(np.complex64)
+        with mkl_verbose() as log:
+            calc_energy(psi32, psi32, orb.occupations, mesh, v, h_nl)
+        assert len(log) == 3
+        assert all(r.site == "calc_energy" for r in log)
+        shapes = [(r.m, r.n, r.k) for r in log]
+        assert shapes == [(6, 6, 512), (6, 6, 512), (6, 6, 6)]
+
+    def test_device_books_stream_kernels(self, setup):
+        from repro.gpu import Device
+
+        mesh, orb, v, h_nl = setup
+        dev = Device()
+        calc_energy(
+            orb.psi.astype(np.complex64), orb.psi.astype(np.complex64),
+            orb.occupations, mesh, v, h_nl, device=dev,
+        )
+        names = {e.name for e in dev.timeline.events}
+        assert "fft_energy" in names and "density_pot" in names

@@ -1,0 +1,81 @@
+"""Unit tests: error-budget analysis."""
+
+import numpy as np
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.core.error_budget import (
+    budget_table,
+    fit_drift,
+    per_step_state_error,
+)
+
+
+class TestPerStepError:
+    def test_scales_with_inputs(self):
+        base = per_step_state_error(ComputeMode.FLOAT_TO_BF16, 0.02, 1.0)
+        assert per_step_state_error(ComputeMode.FLOAT_TO_BF16, 0.04, 1.0) == pytest.approx(2 * base)
+        assert per_step_state_error(ComputeMode.FLOAT_TO_BF16, 0.02, 3.0) == pytest.approx(3 * base)
+
+    def test_mode_ordering(self):
+        e = {m: per_step_state_error(m, 0.02, 1.0) for m in (
+            ComputeMode.FLOAT_TO_BF16, ComputeMode.FLOAT_TO_TF32,
+            ComputeMode.FLOAT_TO_BF16X2, ComputeMode.FLOAT_TO_BF16X3,
+        )}
+        assert (e[ComputeMode.FLOAT_TO_BF16] > e[ComputeMode.FLOAT_TO_TF32]
+                > e[ComputeMode.FLOAT_TO_BF16X2] > e[ComputeMode.FLOAT_TO_BF16X3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            per_step_state_error(ComputeMode.FLOAT_TO_BF16, -1.0, 1.0)
+
+
+class TestFitDrift:
+    def test_recovers_power_law(self):
+        steps = np.arange(200)
+        dev = 3e-4 * steps.astype(float) ** 0.7
+        fit = fit_drift(dev)
+        assert fit.exponent == pytest.approx(0.7, abs=0.02)
+        assert fit.amplitude == pytest.approx(3e-4, rel=0.1)
+        assert fit.r_squared > 0.999
+
+    def test_linear_drift(self):
+        dev = 1e-5 * np.arange(100).astype(float)
+        fit = fit_drift(dev)
+        assert fit.exponent == pytest.approx(1.0, abs=0.01)
+
+    def test_random_walk_exponent(self):
+        rng = np.random.default_rng(0)
+        walk = np.abs(np.cumsum(rng.standard_normal(5000))) * 1e-6
+        fit = fit_drift(walk, skip=10)
+        assert 0.2 < fit.exponent < 0.9
+
+    def test_predict(self):
+        fit = fit_drift(2.0 * np.arange(50).astype(float))
+        np.testing.assert_allclose(fit.predict(np.array([10.0])), [20.0], rtol=0.05)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            fit_drift([1.0, 2.0, 3.0])
+
+
+class TestBudgetTable:
+    def test_rows_structure(self):
+        from repro.core.deviation import DeviationSeries
+
+        steps = np.arange(50)
+        devs = {
+            ComputeMode.FLOAT_TO_BF16: DeviationSeries(
+                observable="ekin", mode=ComputeMode.FLOAT_TO_BF16,
+                time_fs=steps * 0.001,
+                deviation=1e-3 * steps.astype(float) ** 0.5,
+                reference=np.full(50, 50.0),
+            ),
+        }
+        rows = budget_table(devs, dt=0.02, h_nl_norm=1.5)
+        (row,) = rows
+        assert row[0] == "FLOAT_TO_BF16"
+        assert row[1] == pytest.approx(per_step_state_error(
+            ComputeMode.FLOAT_TO_BF16, 0.02, 1.5))
+        assert row[3] == pytest.approx(0.5, abs=0.05)
+        assert np.isfinite(row[4])

@@ -1,0 +1,74 @@
+"""Unit tests: hardware-counter-style utilisation summaries."""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.blas.verbose import VerboseRecord
+from repro.gpu.counters import (
+    KernelClassCounters,
+    summarize_utilization,
+    utilization_table,
+)
+from repro.gpu.specs import MAX_1550_STACK
+from repro.types import Precision
+
+
+def _rec(routine="cgemm", site="nlp_prop", mode=ComputeMode.STANDARD,
+         m=64, n=64, k=64, model_seconds=1e-3):
+    return VerboseRecord(
+        routine=routine, trans_a="N", trans_b="N", m=m, n=n, k=k,
+        mode=mode, seconds=99.0, model_seconds=model_seconds, site=site,
+    )
+
+
+class TestSummaries:
+    def test_grouping(self):
+        recs = [_rec(), _rec(), _rec(site="remap_occ")]
+        out = summarize_utilization(recs)
+        assert len(out) == 2
+        nlp = next(c for c in out if c.site == "nlp_prop")
+        assert nlp.calls == 2
+
+    def test_achieved_flops(self):
+        recs = [_rec(m=10, n=10, k=10, model_seconds=1.0)]
+        (c,) = summarize_utilization(recs)
+        assert c.achieved_flops == pytest.approx(8 * 1000)
+
+    def test_uses_model_time_not_wall(self):
+        recs = [_rec(model_seconds=2.0)]
+        (c,) = summarize_utilization(recs)
+        assert c.total_seconds == 2.0  # not the wall-time 99.0
+
+    def test_sorted_by_time(self):
+        recs = [_rec(model_seconds=1e-4), _rec(site="x", model_seconds=5.0)]
+        out = summarize_utilization(recs)
+        assert out[0].site == "x"
+
+    def test_utilization_vs_peak(self):
+        c = KernelClassCounters("cgemm", "s", "STANDARD", 1, 1.0, 13e12)
+        assert c.utilization_vs(26e12) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            c.utilization_vs(0.0)
+
+
+class TestTable:
+    def test_rows_shape(self):
+        rows = utilization_table([_rec()])
+        assert len(rows) == 1
+        site, routine, mode, calls, secs, tflops, frac = rows[0]
+        assert routine == "cgemm" and calls == 1
+        assert 0 < frac < 1
+
+    def test_from_real_run(self, tiny_sim, clean_mode_env):
+        from repro.blas.gemm import use_device
+        from repro.blas.verbose import mkl_verbose
+        from repro.gpu import Device
+
+        with use_device(Device()):
+            with mkl_verbose() as log:
+                tiny_sim.run(mode=ComputeMode.STANDARD, n_steps=3)
+        rows = utilization_table(log)
+        sites = {r[0] for r in rows}
+        assert {"nlp_prop", "calc_energy", "remap_occ"} <= sites
+        # Every class runs below the FP32 peak.
+        assert all(r[6] < 1.0 for r in rows)

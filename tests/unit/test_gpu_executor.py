@@ -1,0 +1,93 @@
+"""Unit tests: the modelled Device (booking, memory, copies)."""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.gpu.executor import Device
+from repro.gpu.specs import MAX_1550_STACK
+
+
+class TestGemmBooking:
+    def test_record_gemm_returns_model_seconds(self):
+        dev = Device()
+        s = dev.record_gemm("cgemm", 128, 128, 262144, ComputeMode.STANDARD, site="remap_occ")
+        assert s > 0
+        assert dev.total_l0_time() == pytest.approx(s)
+        ev = dev.timeline.events[0]
+        assert ev.name == "cgemm" and ev.kind == "blas" and ev.site == "remap_occ"
+
+    def test_mode_changes_booked_time(self):
+        d1, d2 = Device(), Device()
+        t_std = d1.record_gemm("cgemm", 128, 3968, 262144, ComputeMode.STANDARD)
+        t_bf16 = d2.record_gemm("cgemm", 128, 3968, 262144, ComputeMode.FLOAT_TO_BF16)
+        assert t_std > t_bf16
+
+
+class TestStreamBooking:
+    def test_stream_time_scales_with_bytes(self):
+        dev = Device()
+        t1 = dev.record_stream("fft", 1e9, buffer_bytes=1e9)
+        t2 = dev.record_stream("fft", 2e9, buffer_bytes=1e9)
+        assert t2 > t1
+
+    def test_small_buffer_low_occupancy(self):
+        dev = Device()
+        # Same bytes moved, smaller resident buffer -> slower.
+        t_small = dev.record_stream("k", 1e8, buffer_bytes=1e6)
+        t_big = dev.record_stream("k", 1e8, buffer_bytes=1e10)
+        assert t_small > t_big
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Device().record_stream("k", -1.0)
+
+    def test_kind_is_app(self):
+        dev = Device()
+        dev.record_stream("k", 1e6)
+        assert dev.timeline.events[0].kind == "app"
+
+
+class TestCopyBooking:
+    def test_copy_time_linear_in_bytes(self):
+        dev = Device()
+        t1 = dev.record_copy("h2d", 55e9)  # one second at link speed
+        assert t1 == pytest.approx(1.0, rel=1e-3)
+        assert dev.timeline.events[0].kind == "copy"
+
+
+class TestMemoryAccounting:
+    def test_allocate_and_free(self):
+        dev = Device()
+        dev.allocate(10)
+        assert dev.allocated_bytes == 10
+        dev.free(10)
+        assert dev.allocated_bytes == 0
+
+    def test_oom_raises(self):
+        dev = Device()
+        with pytest.raises(MemoryError, match="device OOM"):
+            dev.allocate(MAX_1550_STACK.hbm_bytes + 1)
+
+    def test_oom_on_cumulative(self):
+        dev = Device()
+        dev.allocate(MAX_1550_STACK.hbm_bytes)
+        with pytest.raises(MemoryError):
+            dev.allocate(1)
+
+    def test_free_too_much_rejected(self):
+        dev = Device()
+        dev.allocate(5)
+        with pytest.raises(ValueError):
+            dev.free(6)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            Device().allocate(-1)
+
+    def test_reset_clears_timeline_not_memory(self):
+        dev = Device()
+        dev.allocate(100)
+        dev.record_stream("k", 1e6)
+        dev.reset()
+        assert dev.total_l0_time() == 0
+        assert dev.allocated_bytes == 100

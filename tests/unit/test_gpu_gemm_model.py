@@ -1,0 +1,126 @@
+"""Unit tests: the per-mode GEMM cost model (paper anchors included)."""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.gpu.gemm_model import GemmModel
+from repro.types import Precision
+
+MODES = [
+    ComputeMode.FLOAT_TO_BF16,
+    ComputeMode.FLOAT_TO_BF16X2,
+    ComputeMode.FLOAT_TO_BF16X3,
+    ComputeMode.FLOAT_TO_TF32,
+    ComputeMode.COMPLEX_3M,
+]
+
+#: The paper's remap_occ shape at N_orb = 4096 (Table VII).
+BIG_REMAP = (128, 3968, 262144)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GemmModel()
+
+
+class TestStructure:
+    def test_component_products_real(self, model):
+        assert model.cost("sgemm", 64, 64, 64, ComputeMode.STANDARD).n_component_products == 1
+        assert model.cost("sgemm", 64, 64, 64, ComputeMode.FLOAT_TO_BF16X3).n_component_products == 6
+
+    def test_component_products_complex(self, model):
+        assert model.cost("cgemm", 64, 64, 64, ComputeMode.STANDARD).n_component_products == 4
+        assert model.cost("cgemm", 64, 64, 64, ComputeMode.COMPLEX_3M).n_component_products == 3
+        assert model.cost("cgemm", 64, 64, 64, ComputeMode.FLOAT_TO_BF16X2).n_component_products == 12
+
+    def test_multiply_precision(self, model):
+        assert model.cost("cgemm", 8, 8, 8, ComputeMode.FLOAT_TO_TF32).multiply_precision is Precision.TF32
+        assert model.cost("cgemm", 8, 8, 8, ComputeMode.STANDARD).multiply_precision is Precision.FP32
+        assert model.cost("zgemm", 8, 8, 8, ComputeMode.STANDARD).multiply_precision is Precision.FP64
+
+    def test_effective_mode_rules(self, model):
+        # FLOAT_TO_* is single-precision only; 3M is complex only.
+        assert model.effective_mode("dgemm", ComputeMode.FLOAT_TO_BF16) is ComputeMode.STANDARD
+        assert model.effective_mode("zgemm", ComputeMode.FLOAT_TO_BF16) is ComputeMode.STANDARD
+        assert model.effective_mode("zgemm", ComputeMode.COMPLEX_3M) is ComputeMode.COMPLEX_3M
+        assert model.effective_mode("sgemm", ComputeMode.COMPLEX_3M) is ComputeMode.STANDARD
+
+    def test_unknown_routine(self, model):
+        with pytest.raises(ValueError, match="unknown routine"):
+            model.cost("qgemm", 8, 8, 8, ComputeMode.STANDARD)
+
+    def test_nonpositive_dims(self, model):
+        with pytest.raises(ValueError, match="positive"):
+            model.cost("sgemm", 0, 8, 8, ComputeMode.STANDARD)
+
+
+class TestPaperAnchors:
+    def test_bf16_max_speedup_near_3_91(self, model):
+        s = model.speedup_vs_fp32("cgemm", *BIG_REMAP, ComputeMode.FLOAT_TO_BF16)
+        assert s == pytest.approx(3.91, abs=0.35)
+
+    def test_bf16_far_below_theoretical_16x(self, model):
+        s = model.speedup_vs_fp32("cgemm", *BIG_REMAP, ComputeMode.FLOAT_TO_BF16)
+        assert s < 6.0
+
+    def test_large_bf16_is_memory_bound(self, model):
+        # Section V-C: "bandwidth limitations stem primarily from the
+        # relatively small m = 128 dimension".
+        cost = model.cost("cgemm", *BIG_REMAP, ComputeMode.FLOAT_TO_BF16)
+        assert cost.bound == "memory"
+
+    def test_large_fp32_is_compute_bound(self, model):
+        cost = model.cost("cgemm", *BIG_REMAP, ComputeMode.STANDARD)
+        assert cost.bound == "compute"
+
+    def test_mode_ordering_at_large_norb(self, model):
+        speedups = {
+            m: model.speedup_vs_fp32("cgemm", *BIG_REMAP, m) for m in MODES
+        }
+        assert (
+            speedups[ComputeMode.FLOAT_TO_BF16]
+            > speedups[ComputeMode.FLOAT_TO_TF32]
+            > speedups[ComputeMode.FLOAT_TO_BF16X2]
+            > speedups[ComputeMode.FLOAT_TO_BF16X3]
+            > speedups[ComputeMode.COMPLEX_3M]
+            > 1.0
+        )
+
+    def test_speedup_grows_with_norb(self, model):
+        # Fig. 3b: larger orbital counts -> larger speedups.
+        prev = 0.0
+        for n in (128, 896, 1920, 3968):
+            s = model.speedup_vs_fp32("cgemm", 128, n, 262144, ComputeMode.FLOAT_TO_BF16)
+            assert s > prev
+            prev = s
+
+    def test_3m_speedup_near_four_thirds(self, model):
+        s = model.speedup_vs_fp32("cgemm", *BIG_REMAP, ComputeMode.COMPLEX_3M)
+        assert s == pytest.approx(4.0 / 3.0, abs=0.1)
+
+    def test_fp64_fp32_ratio_near_two(self, model):
+        # Fig. 3a: FP64 end-to-end is ~1.9x FP32 on fat GEMMs.
+        t64 = model.seconds("zgemm", 1024, 1024, 884736, ComputeMode.STANDARD)
+        t32 = model.seconds("cgemm", 1024, 1024, 884736, ComputeMode.STANDARD)
+        assert t64 / t32 == pytest.approx(2.0, abs=0.3)
+
+
+class TestScalingSanity:
+    def test_time_scales_with_n(self, model):
+        t1 = model.seconds("cgemm", 128, 512, 262144, ComputeMode.STANDARD)
+        t2 = model.seconds("cgemm", 128, 1024, 262144, ComputeMode.STANDARD)
+        assert t2 > t1
+
+    def test_time_scales_with_k(self, model):
+        t1 = model.seconds("cgemm", 128, 128, 1000, ComputeMode.STANDARD)
+        t2 = model.seconds("cgemm", 128, 128, 100000, ComputeMode.STANDARD)
+        assert t2 > 10 * t1
+
+    def test_tiny_gemm_is_launch_bound(self, model):
+        cost = model.cost("sgemm", 4, 4, 4, ComputeMode.STANDARD)
+        assert cost.bound == "launch"
+
+    def test_positive_times_all_modes(self, model):
+        for mode in [ComputeMode.STANDARD, *MODES]:
+            for routine in ("sgemm", "dgemm", "cgemm", "zgemm"):
+                assert model.seconds(routine, 32, 32, 32, mode) > 0

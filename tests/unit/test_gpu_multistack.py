@@ -1,0 +1,66 @@
+"""Unit tests: multi-stack scaling model (future-work extension)."""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.gpu.multistack import (
+    MultiStackModel,
+    NODE_FABRIC,
+    XE_LINK,
+)
+
+SYSTEM = dict(n_grid=96**3, n_orb=1024, n_occ=432)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MultiStackModel()
+
+
+class TestScaling:
+    def test_single_stack_has_no_comm(self, model):
+        p = model.step_seconds(**SYSTEM, mode=ComputeMode.STANDARD, n_stacks=1)
+        assert p.comm_seconds == 0.0
+        assert p.speedup == 1.0
+        assert p.efficiency == 1.0
+
+    def test_two_stacks_faster_than_one(self, model):
+        p1 = model.step_seconds(**SYSTEM, mode=ComputeMode.STANDARD, n_stacks=1)
+        p2 = model.step_seconds(**SYSTEM, mode=ComputeMode.STANDARD, n_stacks=2)
+        assert p2.step_seconds < p1.step_seconds
+        assert 1.0 < p2.speedup <= 2.0
+
+    def test_efficiency_decreases_with_stacks(self, model):
+        effs = [
+            model.step_seconds(**SYSTEM, mode=ComputeMode.STANDARD, n_stacks=p).efficiency
+            for p in (1, 2, 4, 8)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(effs, effs[1:]))
+
+    def test_bf16_scales_worse_than_fp32(self, model):
+        # Communication is mode-independent, so the faster compute mode
+        # loses parallel efficiency first — the interesting future-work
+        # interaction.
+        f32 = model.step_seconds(**SYSTEM, mode=ComputeMode.STANDARD, n_stacks=8)
+        bf16 = model.step_seconds(**SYSTEM, mode=ComputeMode.FLOAT_TO_BF16, n_stacks=8)
+        assert bf16.efficiency < f32.efficiency
+
+    def test_slower_fabric_hurts(self, model):
+        slow = MultiStackModel(link=NODE_FABRIC)
+        fast = MultiStackModel(link=XE_LINK)
+        ps = slow.step_seconds(**SYSTEM, mode=ComputeMode.STANDARD, n_stacks=4)
+        pf = fast.step_seconds(**SYSTEM, mode=ComputeMode.STANDARD, n_stacks=4)
+        assert ps.comm_seconds > pf.comm_seconds
+        assert ps.step_seconds > pf.step_seconds
+
+    def test_scaling_curve_shape(self, model):
+        curve = model.scaling_curve(**SYSTEM, mode=ComputeMode.STANDARD)
+        assert [p.n_stacks for p in curve] == [1, 2, 4, 8]
+        times = [p.step_seconds for p in curve]
+        assert times == sorted(times, reverse=True)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError, match="n_stacks"):
+            model.step_seconds(**SYSTEM, mode=ComputeMode.STANDARD, n_stacks=0)
+        with pytest.raises(ValueError, match="divide evenly"):
+            model.step_seconds(96**3, 1000, 432, ComputeMode.STANDARD, 3)

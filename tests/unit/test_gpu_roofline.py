@@ -1,0 +1,48 @@
+"""Unit tests: generic roofline timing."""
+
+import pytest
+
+from repro.gpu.roofline import RooflinePoint, roofline_time
+
+
+class TestRoofline:
+    def test_compute_bound(self):
+        p = roofline_time(flops=1e12, bytes_moved=1e6, sustained_flops=1e12, bandwidth=1e12)
+        assert p.bound == "compute"
+        assert p.seconds == pytest.approx(1.0)
+
+    def test_memory_bound(self):
+        p = roofline_time(flops=1e6, bytes_moved=1e12, sustained_flops=1e12, bandwidth=1e12)
+        assert p.bound == "memory"
+        assert p.seconds == pytest.approx(1.0)
+
+    def test_launch_bound(self):
+        p = roofline_time(flops=1, bytes_moved=1, sustained_flops=1e12, bandwidth=1e12,
+                          overhead=1e-5)
+        assert p.bound == "launch"
+        assert p.seconds == pytest.approx(1e-5, rel=1e-3)
+
+    def test_overhead_added_not_maxed(self):
+        p = roofline_time(flops=1e12, bytes_moved=0, sustained_flops=1e12,
+                          bandwidth=1e12, overhead=0.5)
+        assert p.seconds == pytest.approx(1.5)
+
+    def test_arithmetic_intensity(self):
+        p = roofline_time(flops=100.0, bytes_moved=25.0, sustained_flops=1e12, bandwidth=1e12)
+        assert p.arithmetic_intensity == pytest.approx(4.0)
+
+    def test_zero_bytes_infinite_intensity(self):
+        p = roofline_time(flops=100.0, bytes_moved=0.0, sustained_flops=1e12, bandwidth=1e12)
+        assert p.arithmetic_intensity == float("inf")
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            roofline_time(-1, 0, 1e12, 1e12)
+        with pytest.raises(ValueError):
+            roofline_time(0, -1, 1e12, 1e12)
+
+    def test_nonpositive_rates_rejected(self):
+        with pytest.raises(ValueError):
+            roofline_time(1, 1, 0, 1e12)
+        with pytest.raises(ValueError):
+            roofline_time(1, 1, 1e12, 0)

@@ -1,0 +1,103 @@
+"""Unit tests: Max 1550 device spec (Table I data and derates)."""
+
+import pytest
+
+from repro.gpu.specs import (
+    DeviceSpec,
+    EngineKind,
+    MAX_1550_STACK,
+    peak_table,
+)
+from repro.types import Precision
+
+
+class TestTable1:
+    def test_published_peaks(self):
+        spec = MAX_1550_STACK
+        assert spec.peak(Precision.FP64) == pytest.approx(26e12)
+        assert spec.peak(Precision.FP32) == pytest.approx(26e12)
+        assert spec.peak(Precision.TF32) == pytest.approx(209e12)
+        assert spec.peak(Precision.BF16) == pytest.approx(419e12)
+        assert spec.peak(Precision.FP16) == pytest.approx(419e12)
+        assert spec.peak(Precision.INT8) == pytest.approx(839e12)
+
+    def test_engine_assignment(self):
+        spec = MAX_1550_STACK
+        assert spec.engine_for(Precision.FP64) is EngineKind.VECTOR
+        assert spec.engine_for(Precision.FP32) is EngineKind.VECTOR
+        for p in (Precision.TF32, Precision.BF16, Precision.FP16, Precision.INT8):
+            assert spec.engine_for(p) is EngineKind.MATRIX
+
+    def test_peak_table_rows(self):
+        rows = peak_table()
+        assert len(rows) == 6
+        precisions = [r[0] for r in rows]
+        assert precisions[0] is Precision.FP64
+        assert rows[-1][2] == "TOP/s"  # INT8 in ops, not flops
+
+    def test_paper_hardware_facts(self):
+        spec = MAX_1550_STACK
+        assert spec.n_eu == 448                       # Section IV-A
+        assert spec.frequency_hz == pytest.approx(1.6e9)
+        assert spec.hbm_bytes == 64 * 1024**3         # Table V caption
+
+
+class TestDerates:
+    def test_power_caps_below_one(self):
+        for p, cap in MAX_1550_STACK.power_derate.items():
+            assert 0 < cap < 1, p
+
+    def test_sustained_below_peak(self):
+        for p in Precision:
+            assert MAX_1550_STACK.sustained(p) < MAX_1550_STACK.peak(p)
+
+    def test_effective_bandwidth_below_raw(self):
+        assert MAX_1550_STACK.effective_bandwidth() < MAX_1550_STACK.hbm_bandwidth
+
+
+class TestTileEfficiency:
+    def test_monotone_in_m_and_n(self):
+        spec = MAX_1550_STACK
+        e1 = spec.tile_efficiency(64, 1024, 1000, EngineKind.MATRIX)
+        e2 = spec.tile_efficiency(128, 1024, 1000, EngineKind.MATRIX)
+        e3 = spec.tile_efficiency(128, 2048, 1000, EngineKind.MATRIX)
+        assert e1 < e2 < e3
+
+    def test_bounded_in_unit_interval(self):
+        spec = MAX_1550_STACK
+        for m, n in [(1, 1), (128, 128), (4096, 4096), (10**6, 10**6)]:
+            eff = spec.tile_efficiency(m, n, 100, EngineKind.VECTOR)
+            assert 0 < eff < 1
+
+    def test_k_independent(self):
+        spec = MAX_1550_STACK
+        assert spec.tile_efficiency(128, 128, 10, EngineKind.MATRIX) == spec.tile_efficiency(
+            128, 128, 10**6, EngineKind.MATRIX
+        )
+
+
+class TestStreamRate:
+    def test_monotone_in_buffer_size(self):
+        spec = MAX_1550_STACK
+        assert spec.stream_rate(1e6) < spec.stream_rate(1e9) < spec.stream_rate(1e12)
+
+    def test_saturates_at_max(self):
+        spec = MAX_1550_STACK
+        assert spec.stream_rate(1e15) == pytest.approx(spec.stream_bandwidth_max, rel=1e-3)
+
+    def test_half_point(self):
+        spec = MAX_1550_STACK
+        assert spec.stream_rate(spec.stream_half_bytes) == pytest.approx(
+            spec.stream_bandwidth_max / 2
+        )
+
+    def test_invalid_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            MAX_1550_STACK.stream_rate(0)
+
+
+class TestMemoryFit:
+    def test_fits_boundary(self):
+        spec = MAX_1550_STACK
+        assert spec.fits_in_memory(spec.hbm_bytes)
+        assert not spec.fits_in_memory(spec.hbm_bytes + 1)

@@ -1,0 +1,111 @@
+"""Unit tests: Hamiltonian assembly and application (QXMD side)."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.hamiltonian import Hamiltonian, ionic_potential
+from repro.dcmesh.material import build_pto_supercell
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.projectors import build_projectors
+from repro.dcmesh.wavefunction import OrbitalSet
+
+
+@pytest.fixture(scope="module")
+def system():
+    material = build_pto_supercell((1, 1, 1), lattice=6.0)
+    mesh = Mesh((10, 10, 10), material.box)
+    proj = build_projectors(material, mesh)
+    v = ionic_potential(material, mesh)
+    return material, mesh, proj, Hamiltonian(mesh, v, proj)
+
+
+class TestIonicPotential:
+    def test_real_and_attractive_at_atoms(self, system):
+        material, mesh, _, h = system
+        v = h.v_local
+        assert v.dtype == np.float64
+        # Potential minimum should be near an atom site (deep well).
+        idx = np.argmin(v)
+        dmin = min(
+            np.linalg.norm(mesh.minimum_image(mesh.coords[idx] - pos))
+            for pos in material.positions
+        )
+        assert dmin < 1.0
+        assert v.min() < -1.0
+
+    def test_periodic_translation_invariance(self):
+        # Shifting all atoms by a lattice vector leaves V unchanged.
+        a = build_pto_supercell((1, 1, 1), lattice=6.0)
+        mesh = Mesh((8, 8, 8), a.box)
+        b = a.displaced(np.array([6.0, 0.0, 0.0]))
+        np.testing.assert_allclose(
+            ionic_potential(a, mesh), ionic_potential(b, mesh), atol=1e-10
+        )
+
+    def test_scales_with_valence(self):
+        m = build_pto_supercell((1, 1, 1), lattice=6.0)
+        mesh = Mesh((8, 8, 8), m.box)
+        v = ionic_potential(m, mesh)
+        # Integral of V ~ -sum Z * (2 pi sigma^2)^{3/2}: negative.
+        assert np.sum(v) * mesh.dv < 0
+
+
+class TestApply:
+    def test_hermitian(self, system, rng):
+        _, mesh, _, h = system
+        x = (rng.standard_normal((mesh.n_grid, 2))
+             + 1j * rng.standard_normal((mesh.n_grid, 2)))
+        y = (rng.standard_normal((mesh.n_grid, 2))
+             + 1j * rng.standard_normal((mesh.n_grid, 2)))
+        lhs = np.vdot(x, h.apply(y)) * mesh.dv
+        rhs = np.vdot(h.apply(x), y) * mesh.dv
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_kinetic_on_plane_wave(self, system):
+        _, mesh, _, h = system
+        kvec = mesh.kvecs[5]
+        psi = np.exp(1j * (mesh.coords @ kvec))[:, None]
+        t_psi = h.kinetic_apply(psi)
+        expect = 0.5 * float(kvec @ kvec) * psi
+        np.testing.assert_allclose(t_psi, expect, atol=1e-8)
+
+    def test_kinetic_with_field_shifts_dispersion(self, system):
+        _, mesh, _, h = system
+        kvec = mesh.kvecs[5]
+        a = np.array([0.0, 0.0, 0.3])
+        psi = np.exp(1j * (mesh.coords @ kvec))[:, None]
+        t_psi = h.kinetic_apply(psi, a_field=a)
+        expect = 0.5 * float((kvec + a) @ (kvec + a)) * psi
+        np.testing.assert_allclose(t_psi, expect, atol=1e-8)
+
+    def test_field_shape_validation(self, system):
+        _, mesh, _, h = system
+        psi = np.zeros((mesh.n_grid, 1), np.complex128)
+        with pytest.raises(ValueError, match="3-vector"):
+            h.kinetic_apply(psi, a_field=np.zeros(2))
+
+    def test_vlocal_shape_validation(self, system):
+        _, mesh, _, _ = system
+        with pytest.raises(ValueError, match="flat"):
+            Hamiltonian(mesh, np.zeros((10, 10)))
+
+
+class TestExpectationAndSubspace:
+    def test_expectation_real_for_hermitian(self, system):
+        _, mesh, _, h = system
+        orb = OrbitalSet.random(mesh, 4, 2, seed=0)
+        e = h.expectation(orb.psi, orb.occupations)
+        assert isinstance(e, float)
+
+    def test_subspace_hermitian(self, system):
+        _, mesh, _, h = system
+        orb = OrbitalSet.random(mesh, 4, 2, seed=1)
+        hs = h.subspace(orb.psi)
+        np.testing.assert_allclose(hs, hs.conj().T, atol=1e-10)
+
+    def test_expectation_consistent_with_subspace_diag(self, system):
+        _, mesh, _, h = system
+        orb = OrbitalSet.random(mesh, 4, 2, seed=2)
+        hs = h.subspace(orb.psi)
+        via_sub = float(np.real(np.diagonal(hs)) @ orb.occupations)
+        assert h.expectation(orb.psi, orb.occupations) == pytest.approx(via_sub, rel=1e-10)

@@ -1,0 +1,88 @@
+"""Unit tests: fewest-switches surface hopping."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.hopping import SurfaceHopper
+
+
+class TestProbabilities:
+    def test_no_growth_no_probability(self):
+        h = SurfaceHopper(n_occupied=4, seed=0)
+        p = h.probabilities(np.zeros(4))
+        np.testing.assert_array_equal(p, 0.0)
+
+    def test_growth_produces_probability(self):
+        h = SurfaceHopper(n_occupied=2, seed=0)
+        h.attempt(0, np.array([0.0, 0.0]))
+        p = h.probabilities(np.array([0.1, 0.0]))
+        assert p[0] == pytest.approx(0.1)
+        assert p[1] == 0.0
+
+    def test_shrinking_population_clipped_to_zero(self):
+        h = SurfaceHopper(n_occupied=1, seed=0)
+        h.attempt(0, np.array([0.5]))
+        p = h.probabilities(np.array([0.2]))
+        assert p[0] == 0.0
+
+    def test_probability_normalised_by_survival(self):
+        h = SurfaceHopper(n_occupied=1, seed=0)
+        h.attempt(0, np.array([0.5]))
+        # growth 0.25 over surviving 0.5 -> p = 0.5.
+        p = h.probabilities(np.array([0.75]))
+        assert p[0] == pytest.approx(0.5)
+
+    def test_shape_validation(self):
+        h = SurfaceHopper(n_occupied=3, seed=0)
+        with pytest.raises(ValueError, match="per-orbital"):
+            h.probabilities(np.zeros(2))
+
+    def test_needs_occupied(self):
+        with pytest.raises(ValueError, match="occupied"):
+            SurfaceHopper(n_occupied=0)
+
+
+class TestHops:
+    def test_deterministic_under_seed(self):
+        traj = [np.array([0.0, 0.0]), np.array([0.3, 0.1]),
+                np.array([0.6, 0.2]), np.array([0.9, 0.3])]
+        runs = []
+        for _ in range(2):
+            h = SurfaceHopper(n_occupied=2, seed=42)
+            events = [h.attempt(i, p) for i, p in enumerate(traj)]
+            runs.append([(e.step, e.orbital) if e else None for e in events])
+        assert runs[0] == runs[1]
+
+    def test_certain_hop_fires(self):
+        h = SurfaceHopper(n_occupied=1, seed=1)
+        h.attempt(0, np.array([0.0]))
+        event = h.attempt(1, np.array([1.0]))  # probability 1
+        assert event is not None
+        assert event.orbital == 0
+        assert h.surface == 1
+        assert h.n_hops == 1
+
+    def test_zero_probability_never_fires(self):
+        h = SurfaceHopper(n_occupied=3, seed=2)
+        for step in range(50):
+            assert h.attempt(step, np.zeros(3)) is None
+        assert h.surface == 0
+
+    def test_hop_rate_matches_probability(self):
+        # Statistical check with a fixed per-step probability of 0.2.
+        fired = 0
+        trials = 2000
+        for seed in range(trials):
+            h = SurfaceHopper(n_occupied=1, seed=seed)
+            h.attempt(0, np.array([0.0]))
+            if h.attempt(1, np.array([0.2])) is not None:
+                fired += 1
+        assert fired / trials == pytest.approx(0.2, abs=0.04)
+
+    def test_event_records_population(self):
+        h = SurfaceHopper(n_occupied=2, seed=3)
+        h.attempt(0, np.array([0.0, 0.0]))
+        event = h.attempt(7, np.array([0.0, 1.0]))
+        assert event.step == 7
+        assert event.orbital == 1
+        assert event.population == 1.0

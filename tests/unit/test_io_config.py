@@ -1,0 +1,58 @@
+"""Unit tests: CONFIG atomic-position file."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.io.config import parse_config_file, write_config_file
+from repro.dcmesh.material import build_pto_supercell
+
+
+class TestRoundTrip:
+    def test_exact_positions(self, tmp_path):
+        m = build_pto_supercell((2, 2, 2), jitter=0.05, seed=1)
+        p = tmp_path / "CONFIG"
+        write_config_file(p, m)
+        back = parse_config_file(p)
+        assert back.symbols == m.symbols
+        np.testing.assert_array_equal(back.positions, m.positions)
+        assert back.box == m.box
+
+    def test_derived_quantities_survive(self, tmp_path):
+        m = build_pto_supercell((1, 1, 1))
+        p = tmp_path / "CONFIG"
+        write_config_file(p, m)
+        back = parse_config_file(p)
+        assert back.n_electrons == m.n_electrons
+        assert back.n_occupied == m.n_occupied
+
+
+class TestParseErrors:
+    def test_missing_box(self, tmp_path):
+        p = tmp_path / "CONFIG"
+        p.write_text("atom Pb 0 0 0\n")
+        with pytest.raises(ValueError, match="missing box"):
+            parse_config_file(p)
+
+    def test_no_atoms(self, tmp_path):
+        p = tmp_path / "CONFIG"
+        p.write_text("box 5 5 5\n")
+        with pytest.raises(ValueError, match="no atoms"):
+            parse_config_file(p)
+
+    def test_malformed_atom_line(self, tmp_path):
+        p = tmp_path / "CONFIG"
+        p.write_text("box 5 5 5\natom Pb 1 2\n")
+        with pytest.raises(ValueError, match=":2:"):
+            parse_config_file(p)
+
+    def test_unknown_keyword(self, tmp_path):
+        p = tmp_path / "CONFIG"
+        p.write_text("cell 5 5 5\n")
+        with pytest.raises(ValueError, match="unknown keyword"):
+            parse_config_file(p)
+
+    def test_unknown_species_caught_by_material(self, tmp_path):
+        p = tmp_path / "CONFIG"
+        p.write_text("box 5 5 5\natom Zz 1 1 1\n")
+        with pytest.raises(ValueError, match="unknown species"):
+            parse_config_file(p)

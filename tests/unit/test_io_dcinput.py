@@ -1,0 +1,72 @@
+"""Unit tests: PTOquick.dc parsing."""
+
+import pytest
+
+from repro.dcmesh.io.dcinput import parse_dc_file, write_dc_file
+from repro.dcmesh.material import PTO_SPECIES
+
+
+def _write(tmp_path, text):
+    p = tmp_path / "PTOquick.dc"
+    p.write_text(text)
+    return p
+
+
+VALID = """
+# comment line
+ncells    2 2 2
+lattice   7.5
+mesh      64 64 64   # trailing comment
+norb      256
+species   Pb valence=14 sigma=1.1 nl_strength=0.9 nl_sigma=1.3 mass=207.2
+"""
+
+
+class TestParse:
+    def test_valid_file(self, tmp_path):
+        dc = parse_dc_file(_write(tmp_path, VALID))
+        assert dc["ncells"] == (2, 2, 2)
+        assert dc["lattice"] == 7.5
+        assert dc["mesh"] == (64, 64, 64)
+        assert dc["norb"] == 256
+        assert dc["species"]["Pb"].valence == 14
+
+    def test_defaults_species_when_absent(self, tmp_path):
+        text = "ncells 1 1 1\nlattice 7.5\nmesh 12 12 12\nnorb 24\n"
+        dc = parse_dc_file(_write(tmp_path, text))
+        assert dc["species"] == dict(PTO_SPECIES)
+
+    def test_missing_required_keyword(self, tmp_path):
+        with pytest.raises(ValueError, match="missing required keyword 'norb'"):
+            parse_dc_file(_write(tmp_path, "ncells 1 1 1\nlattice 7.5\nmesh 8 8 8\n"))
+
+    def test_unknown_keyword_with_line_number(self, tmp_path):
+        with pytest.raises(ValueError, match=":2:"):
+            parse_dc_file(_write(tmp_path, "ncells 1 1 1\nbogus 3\n"))
+
+    def test_malformed_species(self, tmp_path):
+        text = VALID + "species Ti valence=12\n"
+        with pytest.raises(ValueError, match="missing attributes"):
+            parse_dc_file(_write(tmp_path, text))
+
+    def test_bad_ncells_count(self, tmp_path):
+        with pytest.raises(ValueError, match="three integers"):
+            parse_dc_file(_write(tmp_path, "ncells 1 1\nlattice 7.5\nmesh 8 8 8\nnorb 4\n"))
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self, tmp_path):
+        p = tmp_path / "sys.dc"
+        write_dc_file(p, ncells=(3, 3, 3), lattice=7.5, mesh=(96, 96, 96), norb=1024)
+        dc = parse_dc_file(p)
+        assert dc["ncells"] == (3, 3, 3)
+        assert dc["mesh"] == (96, 96, 96)
+        assert dc["norb"] == 1024
+        assert set(dc["species"]) == {"Pb", "Ti", "O"}
+
+    def test_species_roundtrip_exact(self, tmp_path):
+        p = tmp_path / "sys.dc"
+        write_dc_file(p, ncells=(1, 1, 1), lattice=6.0, mesh=(8, 8, 8), norb=20)
+        dc = parse_dc_file(p)
+        for sym, spec in PTO_SPECIES.items():
+            assert dc["species"][sym] == spec

@@ -1,0 +1,78 @@
+"""Unit tests: lfd.in namelist."""
+
+import pytest
+
+from repro.dcmesh.io.lfdinput import parse_lfd_input, write_lfd_input
+from repro.dcmesh.laser import LaserPulse
+from repro.types import Precision
+
+
+def _write(tmp_path, text):
+    p = tmp_path / "lfd.in"
+    p.write_text(text)
+    return p
+
+
+class TestParse:
+    def test_full_file(self, tmp_path):
+        text = """
+        dt = 0.02
+        nsteps = 21000
+        nscf = 500
+        storage = fp32
+        move_ions = true
+        seed = 7
+        laser_amplitude = 0.15
+        laser_omega = 0.057
+        laser_duration_fs = 8.0
+        laser_polarization = 0 0 1
+        """
+        inp = parse_lfd_input(_write(tmp_path, text))
+        assert inp["dt"] == 0.02
+        assert inp["nsteps"] == 21000
+        assert inp["nscf"] == 500
+        assert inp["storage"] is Precision.FP32
+        assert inp["move_ions"] is True
+        assert inp["laser"].amplitude == 0.15
+
+    def test_defaults_match_table3(self, tmp_path):
+        inp = parse_lfd_input(_write(tmp_path, ""))
+        assert inp["dt"] == 0.02
+        assert inp["nsteps"] == 21000
+        assert inp["nscf"] == 500
+
+    def test_fp64_storage(self, tmp_path):
+        inp = parse_lfd_input(_write(tmp_path, "storage = fp64\n"))
+        assert inp["storage"] is Precision.FP64
+
+    def test_unknown_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown keys"):
+            parse_lfd_input(_write(tmp_path, "dd = 1\n"))
+
+    def test_missing_equals_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="key = value"):
+            parse_lfd_input(_write(tmp_path, "dt 0.02\n"))
+
+    def test_bad_boolean(self, tmp_path):
+        with pytest.raises(ValueError, match="boolean"):
+            parse_lfd_input(_write(tmp_path, "move_ions = maybe\n"))
+
+    def test_comments_ignored(self, tmp_path):
+        inp = parse_lfd_input(_write(tmp_path, "# a comment\ndt = 0.04 # inline\n"))
+        assert inp["dt"] == 0.04
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self, tmp_path):
+        p = tmp_path / "lfd.in"
+        original = dict(
+            dt=0.04, nsteps=100, nscf=50, storage=Precision.FP32,
+            move_ions=False, seed=3,
+            laser=LaserPulse(amplitude=0.2, omega=0.06, duration_fs=2.0,
+                             polarization=(1, 0, 0)),
+        )
+        write_lfd_input(p, original)
+        back = parse_lfd_input(p)
+        for key in ("dt", "nsteps", "nscf", "storage", "move_ions", "seed"):
+            assert back[key] == original[key], key
+        assert back["laser"] == original["laser"]

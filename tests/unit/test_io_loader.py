@@ -1,0 +1,56 @@
+"""Unit tests: input-directory loader (the artifact's run recipe)."""
+
+import pytest
+
+from repro.dcmesh.io.loader import (
+    INPUT_NAMES,
+    load_simulation_config,
+    save_simulation_config,
+)
+from repro.dcmesh.simulation import SimulationConfig
+from repro.types import Precision
+
+
+class TestRoundTrip:
+    def test_save_creates_all_three_files(self, tmp_path):
+        cfg = SimulationConfig.small_test()
+        save_simulation_config(tmp_path, cfg)
+        for name in INPUT_NAMES:
+            assert (tmp_path / name).exists(), name
+
+    def test_config_survives_roundtrip(self, tmp_path):
+        cfg = SimulationConfig.small_test(seed=11, n_qd_steps=123, nscf=41)
+        save_simulation_config(tmp_path, cfg)
+        back = load_simulation_config(tmp_path)
+        assert back.ncells == cfg.ncells
+        assert back.mesh_shape == cfg.mesh_shape
+        assert back.n_orb == cfg.n_orb
+        assert back.dt == cfg.dt
+        assert back.n_qd_steps == 123
+        assert back.nscf == 41
+        assert back.seed == 11
+        assert back.storage is Precision.FP32
+        assert back.laser == cfg.laser
+
+    def test_paper_40_roundtrip(self, tmp_path):
+        cfg = SimulationConfig.paper_40()
+        save_simulation_config(tmp_path, cfg)
+        back = load_simulation_config(tmp_path)
+        assert back.n_atoms == 40
+        assert back.n_occupied == 128
+
+
+class TestValidation:
+    def test_atom_count_cross_check(self, tmp_path):
+        cfg = SimulationConfig.small_test()
+        save_simulation_config(tmp_path, cfg)
+        # Corrupt CONFIG: drop one atom line.
+        config = tmp_path / "CONFIG"
+        lines = config.read_text().splitlines()
+        config.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="supercell"):
+            load_simulation_config(tmp_path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_simulation_config(tmp_path)

@@ -1,0 +1,41 @@
+"""Unit tests: run-log writer/reader."""
+
+import pytest
+
+from repro.dcmesh.io.output import read_run_log, write_run_log
+from repro.dcmesh.observables import QDRecord
+
+
+def _records(n=5):
+    return [
+        QDRecord(step=i, time_fs=i * 0.001, ekin=50.0 + i, epot=-100.0,
+                 etot=-50.0 + i, eexc=float(i), nexc=0.1 * i, aext=0.0,
+                 javg=1e-5 * i)
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_records_survive(self, tmp_path):
+        recs = _records()
+        p = tmp_path / "run.log"
+        write_run_log(p, recs)
+        assert read_run_log(p) == recs
+
+    def test_header_ignored_on_read(self, tmp_path):
+        p = tmp_path / "run.log"
+        write_run_log(p, _records(2), header="mode: BF16\nsystem: 40-atom")
+        text = p.read_text()
+        assert text.startswith("# mode: BF16")
+        assert len(read_run_log(p)) == 2
+
+    def test_empty_log(self, tmp_path):
+        p = tmp_path / "run.log"
+        write_run_log(p, [])
+        assert read_run_log(p) == []
+
+    def test_corrupt_line_reports_position(self, tmp_path):
+        p = tmp_path / "run.log"
+        p.write_text("QD 0 0.0 1 2 3 4 5 6 7\nnot a record\n")
+        with pytest.raises(ValueError, match=":2:"):
+            read_run_log(p)

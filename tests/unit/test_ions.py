@@ -1,0 +1,103 @@
+"""Unit tests: Ehrenfest ion dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.ions import IonDynamics, ehrenfest_forces, pair_repulsion_forces
+from repro.dcmesh.material import build_pto_supercell
+from repro.dcmesh.mesh import Mesh
+
+
+@pytest.fixture(scope="module")
+def system():
+    material = build_pto_supercell((1, 1, 1), lattice=6.0)
+    mesh = Mesh((10, 10, 10), material.box)
+    return material, mesh
+
+
+class TestEhrenfestForces:
+    def test_uniform_density_gives_zero_net_force(self, system):
+        material, mesh = system
+        n = np.full(mesh.n_grid, 0.5)
+        f = ehrenfest_forces(material, mesh, n)
+        # A constant density exerts no net pull in any direction.
+        np.testing.assert_allclose(f, 0.0, atol=1e-8)
+
+    def test_density_blob_attracts_ion(self, system):
+        material, mesh = system
+        # Electron density concentrated left of the Pb atom along x.
+        pb = material.positions[0]
+        target = (pb + np.array([-1.0, 0.0, 0.0])) % np.asarray(material.box)
+        d = mesh.distances_to(target)
+        n = np.exp(-(d**2))
+        f = ehrenfest_forces(material, mesh, n)
+        # The electron blob attracts the (attractive-well) ion: the
+        # energy decreases by moving the well onto the density, so the
+        # force on atom 0 points toward the blob (negative x).
+        assert f[0, 0] < 0
+
+    def test_shape_validation(self, system):
+        material, mesh = system
+        with pytest.raises(ValueError, match="flat"):
+            ehrenfest_forces(material, mesh, np.zeros((10, 10)))
+
+
+class TestPairRepulsion:
+    def test_newton_third_law(self, system):
+        material, mesh = system
+        f = pair_repulsion_forces(material, mesh)
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_two_atoms_repel(self):
+        from repro.dcmesh.material import Material
+
+        m = Material(["O", "O"], np.array([[2.0, 3.0, 3.0], [4.0, 3.0, 3.0]]),
+                     (6.0, 6.0, 6.0))
+        mesh = Mesh((6, 6, 6), m.box)
+        f = pair_repulsion_forces(m, mesh)
+        assert f[0, 0] < 0 and f[1, 0] > 0
+
+
+class TestIntegration:
+    def test_velocity_verlet_conserves_with_zero_force(self, system):
+        material, mesh = system
+        ions = IonDynamics(material, mesh, dt=1.0)
+        ions.velocities[:] = 0.01
+        pos0 = material.positions.copy()
+        n = np.full(mesh.n_grid, 0.0)   # no electrons, repulsion only
+        # With repulsion the perfect lattice is an equilibrium (symmetry):
+        ions.step(n)
+        drift = material.positions - (pos0 + 0.01 * 1.0)
+        # Forces are symmetric; only the uniform velocity advance remains.
+        assert np.abs(drift).max() < 1e-4
+        # restore
+        material.positions[:] = pos0
+
+    def test_kinetic_energy_and_temperature(self, system):
+        material, mesh = system
+        ions = IonDynamics(material, mesh, dt=1.0)
+        ions.velocities[:] = 0.0
+        assert ions.kinetic_energy() == 0.0
+        assert ions.temperature() == 0.0
+        ions.velocities[0, 0] = 1e-3
+        expect = 0.5 * material.masses[0] * 1e-6
+        assert ions.kinetic_energy() == pytest.approx(expect)
+
+    def test_positions_stay_in_box(self, system):
+        material, mesh = system
+        pos0 = material.positions.copy()
+        try:
+            ions = IonDynamics(material, mesh, dt=50.0)
+            ions.velocities[:] = 0.05
+            n = np.full(mesh.n_grid, 0.1)
+            for _ in range(3):
+                ions.step(n)
+            assert np.all(material.positions >= 0)
+            assert np.all(material.positions < np.asarray(material.box))
+        finally:
+            material.positions[:] = pos0
+
+    def test_invalid_dt(self, system):
+        material, mesh = system
+        with pytest.raises(ValueError, match="timestep"):
+            IonDynamics(material, mesh, dt=0.0)

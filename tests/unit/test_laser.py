@@ -1,0 +1,76 @@
+"""Unit tests: laser vector-potential pulse."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.constants import AU_PER_FS
+from repro.dcmesh.laser import LaserPulse
+
+
+class TestEnvelope:
+    def test_zero_outside_pulse(self):
+        p = LaserPulse(duration_fs=2.0)
+        assert p.envelope(-1.0) == 0.0
+        assert p.envelope(0.0) == 0.0
+        assert p.envelope(p.duration_au) == 0.0
+        assert p.envelope(p.duration_au + 5) == 0.0
+
+    def test_peak_at_midpoint(self):
+        p = LaserPulse(duration_fs=2.0)
+        assert p.envelope(p.duration_au / 2) == pytest.approx(1.0)
+
+    def test_envelope_bounded(self):
+        p = LaserPulse(duration_fs=3.0)
+        for t in np.linspace(0, p.duration_au, 101):
+            assert 0.0 <= p.envelope(float(t)) <= 1.0
+
+
+class TestVectorPotential:
+    def test_polarization_direction(self):
+        p = LaserPulse(polarization=(0, 0, 1), omega=0.0)
+        a = p.vector_potential(p.duration_au / 2)
+        assert a[0] == a[1] == 0.0
+        assert a[2] == pytest.approx(p.amplitude)
+
+    def test_polarization_normalised(self):
+        p = LaserPulse(polarization=(3, 0, 4))
+        assert np.linalg.norm(p.polarization) == pytest.approx(1.0)
+
+    def test_scalar_amplitude_matches_projection(self):
+        p = LaserPulse()
+        t = 0.4 * p.duration_au
+        a = p.vector_potential(t)
+        assert p.scalar_amplitude(t) == pytest.approx(float(a @ p.polarization))
+
+    def test_amplitude_bounded_by_peak(self):
+        p = LaserPulse(amplitude=0.2)
+        for t in np.linspace(0, p.duration_au, 301):
+            assert abs(p.scalar_amplitude(float(t))) <= 0.2 + 1e-12
+
+
+class TestElectricField:
+    def test_zero_outside_pulse(self):
+        p = LaserPulse(duration_fs=1.0)
+        assert np.all(p.electric_field(-0.1) == 0)
+        assert np.all(p.electric_field(p.duration_au + 0.1) == 0)
+
+    def test_matches_numeric_derivative(self):
+        p = LaserPulse(duration_fs=2.0)
+        t = 0.37 * p.duration_au
+        h = 1e-6
+        numeric = -(p.vector_potential(t + h) - p.vector_potential(t - h)) / (2 * h)
+        np.testing.assert_allclose(p.electric_field(t), numeric, atol=1e-6)
+
+
+class TestValidation:
+    def test_duration_au_conversion(self):
+        p = LaserPulse(duration_fs=1.0)
+        assert p.duration_au == pytest.approx(AU_PER_FS)
+
+    def test_zero_polarization_rejected(self):
+        with pytest.raises(ValueError, match="polarization"):
+            LaserPulse(polarization=(0, 0, 0))
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            LaserPulse(duration_fs=0.0)

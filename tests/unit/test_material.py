@@ -1,0 +1,96 @@
+"""Unit tests: PbTiO3-like supercell builder."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.material import (
+    AtomSpec,
+    Material,
+    PTO_SPECIES,
+    build_pto_supercell,
+)
+
+
+class TestPaperSystems:
+    def test_40_atom_system(self):
+        m = build_pto_supercell((2, 2, 2))
+        assert m.n_atoms == 40                 # Table V
+        assert m.n_electrons == 256
+        assert m.n_occupied == 128             # Table VII's m = 128
+
+    def test_135_atom_system(self):
+        m = build_pto_supercell((3, 3, 3))
+        assert m.n_atoms == 135                # Table V
+        assert m.n_occupied == 432
+
+    def test_species_composition(self):
+        m = build_pto_supercell((1, 1, 1))
+        assert sorted(m.symbols) == ["O", "O", "O", "Pb", "Ti"]
+
+    def test_box_size(self):
+        m = build_pto_supercell((2, 2, 2), lattice=7.5)
+        assert m.box == (15.0, 15.0, 15.0)
+
+    def test_positions_inside_box(self):
+        m = build_pto_supercell((2, 3, 2))
+        assert np.all(m.positions >= 0)
+        assert np.all(m.positions < np.asarray(m.box))
+
+
+class TestJitter:
+    def test_deterministic_under_seed(self):
+        a = build_pto_supercell((2, 2, 2), jitter=0.1, seed=3)
+        b = build_pto_supercell((2, 2, 2), jitter=0.1, seed=3)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_different_seeds_differ(self):
+        a = build_pto_supercell((2, 2, 2), jitter=0.1, seed=3)
+        b = build_pto_supercell((2, 2, 2), jitter=0.1, seed=4)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_zero_jitter_is_perfect_lattice(self):
+        a = build_pto_supercell((2, 2, 2), jitter=0.0, seed=3)
+        b = build_pto_supercell((2, 2, 2), jitter=0.0, seed=99)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+
+class TestMaterialValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="positions shape"):
+            Material(["Pb"], np.zeros((2, 3)), (1.0, 1.0, 1.0))
+
+    def test_unknown_species_rejected(self):
+        with pytest.raises(ValueError, match="unknown species"):
+            Material(["Xx"], np.zeros((1, 3)), (1.0, 1.0, 1.0))
+
+    def test_invalid_ncells(self):
+        with pytest.raises(ValueError, match="ncells"):
+            build_pto_supercell((0, 1, 1))
+
+    def test_odd_electron_count_rejected(self):
+        odd = dict(PTO_SPECIES)
+        odd["Pb"] = AtomSpec("Pb", valence=13, sigma=1.0, nl_strength=1.0,
+                             nl_sigma=1.0, mass_amu=207.0)
+        m = Material(["Pb"], np.zeros((1, 3)), (1.0, 1.0, 1.0), odd)
+        with pytest.raises(ValueError, match="odd electron count"):
+            m.n_occupied
+
+
+class TestProperties:
+    def test_masses_in_au(self):
+        m = build_pto_supercell((1, 1, 1))
+        # Pb mass ~ 207 amu ~ 3.8e5 electron masses.
+        pb_mass = m.masses[m.symbols.index("Pb")]
+        assert pb_mass == pytest.approx(207.2 * 1822.888, rel=1e-3)
+
+    def test_valences_per_cell_sum_to_32(self):
+        m = build_pto_supercell((1, 1, 1))
+        assert m.valences.sum() == 32
+
+    def test_displaced_wraps_and_copies(self):
+        m = build_pto_supercell((1, 1, 1))
+        d = m.displaced(np.array([100.0, 0.0, 0.0]))
+        assert d is not m
+        assert np.all(d.positions[:, 0] < m.box[0])
+        # Original untouched.
+        assert m.positions[0, 0] == pytest.approx(0.0)

@@ -1,0 +1,67 @@
+"""Unit tests: induced local-field dynamics (Maxwell extension)."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.maxwell import InducedField
+
+
+class TestInducedField:
+    def test_zero_current_means_no_field(self):
+        f = InducedField(dt=0.1)
+        for _ in range(10):
+            f.step(0.0)
+        assert f.a == 0.0
+        assert f.a_dot == 0.0
+
+    def test_constant_current_accelerates_field(self):
+        f = InducedField(dt=0.1)
+        for _ in range(10):
+            f.step(1.0)
+        # A'' = -4 pi j < 0 for positive current.
+        assert f.a < 0
+        assert f.a_dot < 0
+
+    def test_coupling_scales_response(self):
+        full = InducedField(dt=0.1, coupling=1.0)
+        half = InducedField(dt=0.1, coupling=0.5)
+        for _ in range(5):
+            full.step(1.0)
+            half.step(1.0)
+        assert half.a == pytest.approx(full.a / 2)
+
+    def test_plasma_oscillation_frequency(self):
+        """Self-consistent free-electron response: j = (N/V) A_total
+        with no external field oscillates at omega_p = sqrt(4 pi n)."""
+        n_density = 0.05                # electrons per bohr^3
+        omega_p = np.sqrt(4 * np.pi * n_density)
+        dt = 0.02 / omega_p
+        f = InducedField(dt=dt)
+        f.a_dot = 1.0                   # kick the field
+        amplitudes = []
+        for _ in range(8000):
+            j = n_density * f.a         # free-electron current response
+            amplitudes.append(f.step(j))
+        a = np.array(amplitudes)
+        # Count zero crossings -> period -> frequency.
+        crossings = np.nonzero(np.diff(np.signbit(a)))[0]
+        period = 2 * np.mean(np.diff(crossings)) * dt
+        measured = 2 * np.pi / period
+        assert measured == pytest.approx(omega_p, rel=0.02)
+
+    def test_energy_positive(self):
+        f = InducedField(dt=0.1)
+        f.step(2.0)
+        assert f.energy(volume=100.0) > 0
+
+    def test_history_tracks_steps(self):
+        f = InducedField(dt=0.1)
+        for _ in range(7):
+            f.step(0.5)
+        assert len(f.history) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="dt"):
+            InducedField(dt=0.0)
+        with pytest.raises(ValueError, match="coupling"):
+            InducedField(dt=0.1, coupling=-1.0)

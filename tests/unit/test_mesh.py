@@ -1,0 +1,101 @@
+"""Unit tests: periodic mesh and spectral transforms."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.mesh import Mesh
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh((8, 8, 8), (4.0, 4.0, 4.0))
+
+
+class TestConstruction:
+    def test_basic_geometry(self, mesh):
+        assert mesh.n_grid == 512
+        assert mesh.volume == pytest.approx(64.0)
+        assert mesh.dv == pytest.approx(64.0 / 512)
+        assert mesh.spacing == (0.5, 0.5, 0.5)
+
+    def test_anisotropic_box(self):
+        m = Mesh((4, 8, 16), (1.0, 2.0, 8.0))
+        assert m.spacing == (0.25, 0.25, 0.5)
+        assert m.n_grid == 512
+
+    def test_coords_cover_box(self, mesh):
+        assert mesh.coords.shape == (512, 3)
+        assert mesh.coords.min() == 0.0
+        assert mesh.coords.max() == pytest.approx(3.5)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh((8, 8), (1, 1))
+        with pytest.raises(ValueError):
+            Mesh((1, 8, 8), (1, 1, 1))
+        with pytest.raises(ValueError):
+            Mesh((8, 8, 8), (0, 1, 1))
+
+
+class TestFFT:
+    def test_roundtrip_identity(self, mesh, rng):
+        psi = (rng.standard_normal((512, 3)) + 1j * rng.standard_normal((512, 3))).astype(
+            np.complex128
+        )
+        np.testing.assert_allclose(mesh.ifft(mesh.fft(psi)), psi, atol=1e-12)
+
+    def test_preserves_single_precision(self, mesh, rng):
+        psi = rng.standard_normal((512, 2)).astype(np.complex64)
+        assert mesh.fft(psi).dtype == np.complex64
+        assert mesh.ifft(psi).dtype == np.complex64
+
+    def test_plane_wave_is_delta_in_g_space(self, mesh):
+        # exp(i k1 x) should transform to a single nonzero coefficient.
+        k1 = 2 * np.pi / 4.0  # first harmonic of the box
+        psi = np.exp(1j * k1 * mesh.coords[:, 0])[:, None]
+        psig = mesh.fft(psi)
+        mags = np.abs(psig[:, 0])
+        assert np.count_nonzero(mags > 1e-8 * mags.max()) == 1
+
+    def test_laplacian_eigenvalue(self, mesh):
+        # -k^2 for a plane wave, evaluated spectrally.
+        k1 = 2 * np.pi / 4.0
+        psi = np.exp(1j * k1 * mesh.coords[:, 1])[:, None]
+        lap = mesh.ifft(mesh.fft(psi) * (-mesh.k2[:, None]))
+        np.testing.assert_allclose(lap, -(k1**2) * psi, atol=1e-10)
+
+    def test_wrong_leading_axis(self, mesh):
+        with pytest.raises(ValueError, match="N_grid"):
+            mesh.fft(np.zeros((100, 2), np.complex128))
+
+
+class TestIntegrals:
+    def test_integrate_constant(self, mesh):
+        f = np.ones(mesh.n_grid)
+        assert mesh.integrate(f) == pytest.approx(mesh.volume)
+
+    def test_braket_norm(self, mesh):
+        psi = np.full(mesh.n_grid, 1.0 / np.sqrt(mesh.volume), dtype=np.complex128)
+        assert mesh.braket(psi, psi) == pytest.approx(1.0)
+
+    def test_parseval(self, mesh, rng):
+        psi = (rng.standard_normal(512) + 1j * rng.standard_normal(512)).astype(np.complex128)
+        real_norm = np.sum(np.abs(psi) ** 2) * mesh.dv
+        g_norm = np.sum(np.abs(mesh.fft(psi[:, None])) ** 2) * mesh.dv / mesh.n_grid
+        assert g_norm == pytest.approx(real_norm)
+
+
+class TestPeriodicGeometry:
+    def test_minimum_image_wraps(self, mesh):
+        d = mesh.minimum_image(np.array([[3.9, 0.0, 0.0]]))
+        assert d[0, 0] == pytest.approx(-0.1)
+
+    def test_minimum_image_inside_half_box(self, mesh, rng):
+        d = mesh.minimum_image(rng.uniform(-20, 20, (100, 3)))
+        assert np.all(np.abs(d) <= 2.0 + 1e-12)
+
+    def test_distances_periodic(self, mesh):
+        # Point at the far corner is close to the origin periodically.
+        d = mesh.distances_to(np.array([3.9, 3.9, 3.9]))
+        origin_idx = 0
+        assert d[origin_idx] == pytest.approx(np.sqrt(3 * 0.1**2), rel=1e-6)

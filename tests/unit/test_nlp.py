@@ -1,0 +1,118 @@
+"""Unit tests: nlp_prop — the BLASified Eq. 1 correction."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.blas.modes import ComputeMode, compute_mode
+from repro.blas.verbose import mkl_verbose
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.nlp import NonlocalPropagator
+from repro.dcmesh.wavefunction import OrbitalSet
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mesh = Mesh((8, 8, 8), (5.0, 5.0, 5.0))
+    orb = OrbitalSet.random(mesh, 6, 3, seed=0)
+    rng = np.random.default_rng(1)
+    h = rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6))
+    h = 0.5 * (h + h.conj().T) * 0.2
+    return mesh, orb, h
+
+
+class TestConstruction:
+    def test_requires_hermitian(self, setup):
+        mesh, orb, h = setup
+        bad = h.copy()
+        bad[0, 1] += 1.0
+        with pytest.raises(ValueError, match="Hermitian"):
+            NonlocalPropagator(orb.psi, bad, dt=0.05, mesh=mesh)
+
+    def test_shape_checks(self, setup):
+        mesh, orb, h = setup
+        with pytest.raises(ValueError, match="h_nl_sub shape"):
+            NonlocalPropagator(orb.psi, h[:4, :4], dt=0.05, mesh=mesh)
+        with pytest.raises(ValueError, match="psi0"):
+            NonlocalPropagator(orb.psi[:, 0], h, dt=0.05, mesh=mesh)
+
+    def test_w_storage_matches_psi0(self, setup):
+        mesh, orb, h = setup
+        psi32 = orb.psi.astype(np.complex64)
+        nlp = NonlocalPropagator(psi32, h, dt=0.05, mesh=mesh)
+        assert nlp.w.dtype == np.complex64
+
+
+class TestApply:
+    def test_unitary_within_subspace(self, setup):
+        # Applying the correction to the reference orbitals themselves
+        # is exactly the subspace unitary: norms preserved.
+        mesh, orb, h = setup
+        nlp = NonlocalPropagator(orb.psi, h, dt=0.05, mesh=mesh)
+        out = nlp.apply(orb.psi)
+        s = (out.conj().T @ out) * mesh.dv
+        np.testing.assert_allclose(s, np.eye(6), atol=1e-10)
+
+    def test_matches_expm_action(self, setup):
+        mesh, orb, h = setup
+        dt = 0.05
+        nlp = NonlocalPropagator(orb.psi, h, dt=dt, mesh=mesh)
+        out = nlp.apply(orb.psi)
+        u = scipy.linalg.expm(-1j * dt * h)
+        expect = orb.psi @ u
+        np.testing.assert_allclose(out, expect, atol=1e-10)
+
+    def test_orthogonal_component_untouched(self, setup):
+        # A state orthogonal to span(psi0) must pass through unchanged
+        # (the correction lives in the Kohn-Sham subspace).
+        mesh, orb, h = setup
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((mesh.n_grid, 1)) + 1j * rng.standard_normal(
+            (mesh.n_grid, 1)
+        )
+        # Orthogonalise against the reference orbitals.
+        s = (orb.psi.conj().T @ x) * mesh.dv
+        x = x - orb.psi @ s
+        nlp = NonlocalPropagator(orb.psi[:, :1], h[:1, :1].real.astype(complex), 0.05, mesh)
+        # Use a 6-orbital propagator on a padded state for shape match.
+        nlp6 = NonlocalPropagator(orb.psi, h, 0.05, mesh)
+        padded = np.tile(x, (1, 6))
+        out = nlp6.apply(padded)
+        np.testing.assert_allclose(out, padded, atol=1e-9)
+
+    def test_zero_dt_is_identity(self, setup):
+        mesh, orb, h = setup
+        nlp = NonlocalPropagator(orb.psi, h, dt=0.0, mesh=mesh)
+        out = nlp.apply(orb.psi)
+        np.testing.assert_allclose(out, orb.psi, atol=1e-12)
+
+    def test_issues_three_tagged_gemms(self, setup, clean_mode_env):
+        mesh, orb, h = setup
+        psi32 = orb.psi.astype(np.complex64)
+        nlp = NonlocalPropagator(psi32, h, dt=0.05, mesh=mesh)
+        with mkl_verbose() as log:
+            nlp.apply(psi32)
+        assert len(log) == 3
+        assert all(r.site == "nlp_prop" for r in log)
+        assert all(r.routine == "cgemm" for r in log)
+        # Shapes: (N_orb,N_orb,N_grid), (N_orb,N_orb,N_orb), (N_grid,N_orb,N_orb).
+        shapes = [(r.m, r.n, r.k) for r in log]
+        assert shapes == [(6, 6, 512), (6, 6, 6), (512, 6, 6)]
+
+    def test_mode_sensitivity(self, setup, clean_mode_env):
+        mesh, orb, h = setup
+        psi32 = orb.psi.astype(np.complex64)
+        nlp = NonlocalPropagator(psi32, h, dt=0.05, mesh=mesh)
+        with compute_mode(ComputeMode.STANDARD):
+            std = nlp.apply(psi32)
+        with compute_mode(ComputeMode.FLOAT_TO_BF16):
+            alt = nlp.apply(psi32)
+        assert not np.array_equal(std, alt)
+        # ...but numerically close (the whole premise of the paper).
+        np.testing.assert_allclose(alt, std, atol=2e-2)
+
+    def test_shape_mismatch_rejected(self, setup):
+        mesh, orb, h = setup
+        nlp = NonlocalPropagator(orb.psi, h, dt=0.05, mesh=mesh)
+        with pytest.raises(ValueError, match="psi shape"):
+            nlp.apply(orb.psi[:, :3])

@@ -1,0 +1,67 @@
+"""Unit tests: QD-step records and the DCMESH output line."""
+
+import pytest
+
+from repro.dcmesh.observables import (
+    COLUMNS,
+    QDRecord,
+    format_qd_line,
+    parse_qd_line,
+    records_to_columns,
+)
+
+
+def _rec(step=3, **over):
+    base = dict(
+        step=step, time_fs=0.0145, ekin=51.2, epot=-103.4, etot=-52.2,
+        eexc=0.8, nexc=0.25, aext=0.12, javg=-3.4e-5,
+    )
+    base.update(over)
+    return QDRecord(**base)
+
+
+class TestRecord:
+    def test_paper_column_order(self):
+        # "In order from left to right, these are ekin, epot, etot,
+        # eexc, nexc, Aext, and javg."
+        assert COLUMNS == ("ekin", "epot", "etot", "eexc", "nexc", "aext", "javg")
+
+    def test_values_follow_columns(self):
+        r = _rec()
+        assert r.values() == (51.2, -103.4, -52.2, 0.8, 0.25, 0.12, -3.4e-5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            _rec().ekin = 0.0
+
+
+class TestLineFormat:
+    def test_roundtrip(self):
+        r = _rec()
+        line = format_qd_line(r)
+        back = parse_qd_line(line)
+        assert back == r
+
+    def test_line_starts_with_qd(self):
+        assert format_qd_line(_rec()).startswith("QD ")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not a QD record"):
+            parse_qd_line("hello world")
+        with pytest.raises(ValueError, match="not a QD record"):
+            parse_qd_line("QD 1 2 3")
+
+    def test_precision_survives_roundtrip(self):
+        r = _rec(javg=-3.4567890123e-12)
+        assert parse_qd_line(format_qd_line(r)).javg == pytest.approx(
+            -3.4567890123e-12, rel=1e-9
+        )
+
+
+class TestColumns:
+    def test_records_to_columns(self):
+        recs = [_rec(step=i, nexc=float(i)) for i in range(4)]
+        cols = records_to_columns(recs)
+        assert cols["step"] == [0, 1, 2, 3]
+        assert cols["nexc"] == [0.0, 1.0, 2.0, 3.0]
+        assert len(cols["time_fs"]) == 4

@@ -1,0 +1,96 @@
+"""Unit tests: MKL_VERBOSE parsing and aggregation."""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.blas.verbose import VerboseRecord, format_verbose_line
+from repro.profiling.mklverbose import (
+    parse_verbose_line,
+    parse_verbose_text,
+    summarize_calls,
+)
+
+
+def _rec(**over):
+    base = dict(
+        routine="cgemm", trans_a="C", trans_b="N", m=128, n=896, k=262144,
+        mode=ComputeMode.FLOAT_TO_BF16, seconds=4.2e-3, site="remap_occ",
+    )
+    base.update(over)
+    return VerboseRecord(**base)
+
+
+class TestParsing:
+    def test_roundtrip_through_text(self):
+        rec = _rec()
+        back = parse_verbose_line(format_verbose_line(rec))
+        assert (back.routine, back.m, back.n, back.k) == ("cgemm", 128, 896, 262144)
+        assert back.mode is ComputeMode.FLOAT_TO_BF16
+        assert back.site == "remap_occ"
+        assert back.seconds == pytest.approx(4.2e-3, rel=1e-3)
+
+    def test_standard_mode_line(self):
+        line = "MKL_VERBOSE SGEMM(N,N,10,20,30) 1.50ms"
+        rec = parse_verbose_line(line)
+        assert rec.mode is ComputeMode.STANDARD
+        assert rec.site == ""
+
+    def test_seconds_units(self):
+        assert parse_verbose_line(
+            "MKL_VERBOSE SGEMM(N,N,1,1,1) 2.000000s"
+        ).seconds == pytest.approx(2.0)
+        assert parse_verbose_line(
+            "MKL_VERBOSE SGEMM(N,N,1,1,1) 3.00us"
+        ).seconds == pytest.approx(3e-6)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="not an MKL_VERBOSE"):
+            parse_verbose_line("hello")
+
+    def test_batch_line_roundtrip(self):
+        rec = _rec(batch=7)
+        line = format_verbose_line(rec)
+        assert "CGEMM_BATCH" in line and "batch:7" in line
+        back = parse_verbose_line(line)
+        assert back.routine == "cgemm"
+        assert back.batch == 7
+        assert back.flops == rec.flops
+
+    def test_batch_default_is_one(self):
+        back = parse_verbose_line("MKL_VERBOSE SGEMM(N,N,4,4,4) 1.00ms")
+        assert back.batch == 1
+
+    def test_parse_text_filters_noise(self):
+        text = "\n".join(
+            [
+                "some app output",
+                format_verbose_line(_rec()),
+                "QD      12 0.1 1 2 3 4 5 6 7",
+                format_verbose_line(_rec(routine="sgemm")),
+            ]
+        )
+        recs = parse_verbose_text(text)
+        assert [r.routine for r in recs] == ["cgemm", "sgemm"]
+
+
+class TestSummaries:
+    def test_grouping_and_means(self):
+        recs = [_rec(seconds=1.0), _rec(seconds=3.0), _rec(m=64, seconds=10.0)]
+        summaries = summarize_calls(recs)
+        assert len(summaries) == 2
+        big = [s for s in summaries if s.m == 128][0]
+        assert big.count == 2
+        assert big.mean_seconds == pytest.approx(2.0)
+
+    def test_sorted_by_total_time(self):
+        recs = [_rec(seconds=1.0), _rec(m=64, seconds=10.0)]
+        summaries = summarize_calls(recs)
+        assert summaries[0].m == 64
+
+    def test_model_seconds_preferred(self):
+        recs = [_rec(seconds=1.0, model_seconds=5.0)]
+        (s,) = summarize_calls(recs)
+        assert s.total_seconds == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert summarize_calls([]) == []

@@ -1,0 +1,48 @@
+"""Unit tests: unitrace-style reporting."""
+
+import pytest
+
+from repro.gpu.timeline import Timeline
+from repro.profiling.unitrace import unitrace_report
+
+
+@pytest.fixture()
+def timeline():
+    tl = Timeline()
+    tl.append("cgemm", 2.0, kind="blas", site="nlp_prop")
+    tl.append("fft_forward", 1.0, kind="app", site="lfd_step")
+    tl.append("cgemm", 1.0, kind="blas", site="remap_occ")
+    tl.append("psi_h2d", 0.5, kind="copy", site="shadow")
+    return tl
+
+
+class TestReport:
+    def test_total_l0_time(self, timeline):
+        rep = unitrace_report(timeline)
+        assert rep.total_l0_seconds == pytest.approx(4.5)
+        assert rep.n_kernels == 4
+
+    def test_top_kernels_sorted(self, timeline):
+        rep = unitrace_report(timeline)
+        top = rep.top_kernels(2)
+        assert top[0] == ("cgemm", 3.0)
+        assert top[1][0] == "fft_forward"
+
+    def test_blas_fraction(self, timeline):
+        rep = unitrace_report(timeline)
+        assert rep.blas_fraction() == pytest.approx(3.0 / 4.5)
+
+    def test_by_site(self, timeline):
+        rep = unitrace_report(timeline)
+        assert rep.by_site["nlp_prop"] == pytest.approx(2.0)
+
+    def test_render_contains_headline(self, timeline):
+        text = unitrace_report(timeline).render()
+        assert "Total L0 Time" in text
+        assert "cgemm" in text
+        assert "kind:blas" in text
+
+    def test_empty_timeline(self):
+        rep = unitrace_report(Timeline())
+        assert rep.total_l0_seconds == 0
+        assert rep.blas_fraction() == 0.0

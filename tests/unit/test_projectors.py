@@ -1,0 +1,79 @@
+"""Unit tests: separable nonlocal projectors."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.material import build_pto_supercell
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.projectors import ProjectorSet, build_projectors
+
+
+@pytest.fixture(scope="module")
+def system():
+    material = build_pto_supercell((1, 1, 1), lattice=6.0)
+    mesh = Mesh((10, 10, 10), material.box)
+    return material, mesh, build_projectors(material, mesh)
+
+
+class TestConstruction:
+    def test_one_projector_per_atom(self, system):
+        material, mesh, proj = system
+        assert proj.n_proj == material.n_atoms
+        assert proj.p.shape == (mesh.n_grid, material.n_atoms)
+
+    def test_columns_normalised(self, system):
+        _, mesh, proj = system
+        norms = np.sum(proj.p**2, axis=0) * mesh.dv
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-12)
+
+    def test_couplings_match_species(self, system):
+        material, _, proj = system
+        expect = [spec.nl_strength for spec in material.specs]
+        np.testing.assert_allclose(proj.d, expect)
+
+    def test_shape_validation(self, system):
+        _, mesh, _ = system
+        with pytest.raises(ValueError, match="couplings"):
+            ProjectorSet(p=np.zeros((mesh.n_grid, 2)), d=np.zeros(3), mesh=mesh)
+
+
+class TestApplication:
+    def test_apply_is_hermitian(self, system, rng):
+        _, mesh, proj = system
+        x = (rng.standard_normal((mesh.n_grid, 2))
+             + 1j * rng.standard_normal((mesh.n_grid, 2)))
+        y = (rng.standard_normal((mesh.n_grid, 2))
+             + 1j * rng.standard_normal((mesh.n_grid, 2)))
+        lhs = np.vdot(x, proj.apply(y)) * mesh.dv
+        rhs = np.vdot(proj.apply(x), y) * mesh.dv
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_apply_separable_rank(self, system, rng):
+        # V_nl has rank <= n_proj: applying to a vector orthogonal to
+        # every projector gives ~0.
+        _, mesh, proj = system
+        x = rng.standard_normal(mesh.n_grid)
+        # Project out all projector components.
+        q, _ = np.linalg.qr(proj.p)
+        x = x - q @ (q.T @ x)
+        out = proj.apply(x[:, None].astype(np.complex128))
+        assert np.abs(out).max() < 1e-10 * np.abs(x).max()
+
+    def test_subspace_matrix_hermitian_psd_signs(self, system, rng):
+        _, mesh, proj = system
+        psi = (rng.standard_normal((mesh.n_grid, 4))
+               + 1j * rng.standard_normal((mesh.n_grid, 4)))
+        h = proj.subspace_matrix(psi)
+        assert h.shape == (4, 4)
+        np.testing.assert_allclose(h, h.conj().T, atol=1e-12)
+        # All couplings positive here -> PSD subspace operator.
+        vals = np.linalg.eigvalsh(h)
+        assert vals.min() > -1e-10
+
+    def test_subspace_consistent_with_apply(self, system, rng):
+        _, mesh, proj = system
+        psi = (rng.standard_normal((mesh.n_grid, 3))
+               + 1j * rng.standard_normal((mesh.n_grid, 3)))
+        h = proj.subspace_matrix(psi)
+        direct = (psi.conj().T @ proj.apply(psi)) * mesh.dv
+        np.testing.assert_allclose(h, direct, rtol=1e-10)

@@ -1,0 +1,67 @@
+"""Unit tests: tight-binding lattice Hamiltonians."""
+
+import numpy as np
+import pytest
+
+from repro.qmc.lattice import LatticeHamiltonian, tight_binding_hamiltonian
+
+
+class TestConstruction:
+    def test_symmetric_and_sized(self):
+        h = tight_binding_hamiltonian((3, 4, 5))
+        assert h.n_sites == 60
+        np.testing.assert_array_equal(h.matrix, h.matrix.T)
+
+    def test_coordination_number(self):
+        # Periodic cubic lattice: each site couples to 6 neighbours.
+        h = tight_binding_hamiltonian((4, 4, 4), hopping=1.0)
+        off_diag_count = np.count_nonzero(h.matrix[0])
+        assert off_diag_count == 6
+        assert h.matrix[0].sum() == pytest.approx(-6.0)
+
+    def test_known_band_edges(self):
+        # Clean tight binding: spectrum in [-6t, 6t] with E_min = -6t
+        # (the k=0 state, exactly representable on a periodic lattice).
+        h = tight_binding_hamiltonian((6, 6, 6), hopping=1.0)
+        vals = h.eigenvalues()
+        assert vals[0] == pytest.approx(-6.0, abs=1e-10)
+        assert vals[-1] <= 6.0 + 1e-10
+
+    def test_disorder_deterministic(self):
+        a = tight_binding_hamiltonian((3, 3, 3), disorder=0.5, seed=1)
+        b = tight_binding_hamiltonian((3, 3, 3), disorder=0.5, seed=1)
+        np.testing.assert_array_equal(a.matrix, b.matrix)
+        c = tight_binding_hamiltonian((3, 3, 3), disorder=0.5, seed=2)
+        assert not np.array_equal(a.matrix, c.matrix)
+
+    def test_explicit_site_energies(self):
+        eps = np.arange(27, dtype=float)
+        h = tight_binding_hamiltonian((3, 3, 3), site_energies=eps)
+        np.testing.assert_array_equal(np.diagonal(h.matrix), eps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive ints"):
+            tight_binding_hamiltonian((0, 3, 3))
+        with pytest.raises(ValueError, match="length"):
+            tight_binding_hamiltonian((3, 3, 3), site_energies=np.zeros(5))
+        with pytest.raises(ValueError, match="square"):
+            LatticeHamiltonian(np.zeros((3, 4)), (1, 1, 3))
+        with pytest.raises(ValueError, match="not symmetric"):
+            m = np.zeros((8, 8))
+            m[0, 1] = 1.0
+            LatticeHamiltonian(m, (2, 2, 2))
+
+
+class TestPropagator:
+    def test_exp_of_h(self):
+        h = tight_binding_hamiltonian((3, 3, 3), disorder=0.3, seed=0)
+        tau = 0.1
+        b = h.propagator(tau)
+        # B and H share eigenvectors; eigenvalues exp(-tau e).
+        vals_b = np.sort(np.linalg.eigvalsh(b))[::-1]
+        vals_h = np.sort(h.eigenvalues())
+        np.testing.assert_allclose(vals_b, np.exp(-tau * vals_h), rtol=1e-10)
+
+    def test_tau_zero_is_identity(self):
+        h = tight_binding_hamiltonian((2, 2, 2))
+        np.testing.assert_allclose(h.propagator(0.0), np.eye(8), atol=1e-12)

@@ -1,0 +1,65 @@
+"""Unit tests: roofline analysis report."""
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.gpu.specs import MAX_1550_STACK
+from repro.profiling.roofline_report import (
+    render_roofline,
+    ridge_point,
+    roofline_entries,
+)
+
+CALLS = [
+    ("remap_big", "cgemm", 128, 3968, 262144),
+    ("nlp_S", "cgemm", 1024, 1024, 884736),
+]
+
+
+class TestRidgePoint:
+    def test_bf16_ridge_far_right_of_fp32(self):
+        r_fp32 = ridge_point(MAX_1550_STACK, ComputeMode.STANDARD)
+        r_bf16 = ridge_point(MAX_1550_STACK, ComputeMode.FLOAT_TO_BF16)
+        # Faster math needs much more intensity to leave the memory roof.
+        assert r_bf16 > 5 * r_fp32
+
+    def test_positive(self):
+        for mode in ComputeMode:
+            assert ridge_point(MAX_1550_STACK, mode) > 0
+
+
+class TestEntries:
+    def test_paper_section_5c_story(self):
+        entries = roofline_entries(CALLS)
+        by_key = {(e.label, e.mode): e for e in entries}
+        # The m=128 remap call: compute-bound at FP32, memory-bound at
+        # BF16 — exactly the paper's explanation of the 3.91x cap.
+        assert by_key[("remap_big", ComputeMode.STANDARD)].bound == "compute"
+        assert by_key[("remap_big", ComputeMode.FLOAT_TO_BF16)].bound == "memory"
+        # The fat nlp GEMM stays compute-bound in both.
+        assert by_key[("nlp_S", ComputeMode.FLOAT_TO_BF16)].bound == "compute"
+
+    def test_achieved_flops_below_peak(self):
+        for e in roofline_entries(CALLS):
+            peak = MAX_1550_STACK.peak_ops[
+                e.mode.component_precision
+                if e.mode.is_low_precision
+                else __import__("repro.types", fromlist=["Precision"]).Precision.FP32
+            ]
+            assert e.achieved_flops < peak
+
+    def test_intensity_positive(self):
+        assert all(e.intensity > 0 for e in roofline_entries(CALLS))
+
+
+class TestRender:
+    def test_render_contains_entries_and_roof(self):
+        text = render_roofline(roofline_entries(CALLS))
+        assert "/" in text            # memory roof diagonal
+        assert "[0]" in text and "[3]" in text
+        assert "remap_big" in text
+        assert "TFLOP/s" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no entries"):
+            render_roofline([])

@@ -1,0 +1,136 @@
+"""Unit tests: the FP64 QXMD/SCF solver."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.material import build_pto_supercell
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.projectors import build_projectors
+from repro.dcmesh.scf import SCFParams, SCFSolver
+from repro.dcmesh.wavefunction import OrbitalSet
+
+
+@pytest.fixture(scope="module")
+def solver():
+    material = build_pto_supercell((1, 1, 1), lattice=6.5)
+    mesh = Mesh((10, 10, 10), material.box)
+    proj = build_projectors(material, mesh)
+    return SCFSolver(mesh, material, proj, SCFParams())
+
+
+@pytest.fixture(scope="module")
+def ground(solver):
+    return solver.solve(n_orb=20, seed=0)
+
+
+class TestPotentials:
+    def test_hartree_solves_poisson(self, solver):
+        mesh = solver.mesh
+        # A smooth neutral-ish density: check -lap(V_H)/(4 pi) == n - n_mean.
+        n = np.exp(-mesh.k2)  # arbitrary smooth function of |k|... in real space:
+        n = np.abs(mesh.ifft(np.exp(-mesh.k2[:, None]))[:, 0].real)
+        vh = solver.hartree_potential(n)
+        lap_vh = mesh.ifft(mesh.fft(vh.astype(np.complex128)[:, None])
+                           * (-mesh.k2[:, None]))[:, 0].real
+        lhs = -lap_vh / (4 * np.pi)
+        rhs = n - n.mean()  # G=0 removed
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10 * np.abs(rhs).max())
+
+    def test_hartree_of_zero_density(self, solver):
+        vh = solver.hartree_potential(np.zeros(solver.mesh.n_grid))
+        np.testing.assert_allclose(vh, 0.0, atol=1e-14)
+
+    def test_xc_negative_and_monotone(self, solver):
+        n = np.array([0.0, 0.1, 1.0, 10.0])
+        vx = solver.xc_potential(n)
+        assert vx[0] == 0.0
+        assert np.all(np.diff(vx) < 0)
+
+    def test_xc_clips_negative_density(self, solver):
+        vx = solver.xc_potential(np.array([-1e-3]))
+        assert vx[0] == 0.0
+
+    def test_effective_potential_composition(self, solver):
+        n = np.full(solver.mesh.n_grid, 0.1)
+        v = solver.effective_potential(n)
+        assert v.shape == (solver.mesh.n_grid,)
+        assert np.all(np.isfinite(v))
+
+
+class TestSolve:
+    def test_converges(self, ground):
+        assert ground.converged
+        assert ground.n_iter <= 150
+
+    def test_orbitals_orthonormal(self, ground):
+        s = ground.orbitals.overlap()
+        np.testing.assert_allclose(s, np.eye(20), atol=1e-10)
+
+    def test_eigenvalues_sorted(self, ground):
+        assert np.all(np.diff(ground.eigenvalues) >= -1e-10)
+
+    def test_band_energy_matches_occupied_eigenvalues(self, ground):
+        expect = float(ground.eigenvalues @ ground.orbitals.occupations)
+        assert ground.band_energy == pytest.approx(expect, rel=1e-10)
+
+    def test_energy_history_settles(self, ground):
+        # Band energy is not variational under density mixing, but the
+        # iteration-to-iteration change must shrink by orders of
+        # magnitude as the density converges.
+        h = np.array(ground.history)
+        deltas = np.abs(np.diff(h))
+        assert deltas[-1] < 1e-3 * deltas[:5].max()
+
+    def test_density_integrates_to_electrons(self, ground, solver):
+        total = np.sum(ground.density) * solver.mesh.dv
+        assert total == pytest.approx(32.0, rel=1e-6)
+
+    def test_deterministic(self, solver, ground):
+        again = solver.solve(n_orb=20, seed=0)
+        np.testing.assert_array_equal(again.orbitals.psi, ground.orbitals.psi)
+
+    def test_seed_changes_start_not_physics(self, solver, ground):
+        other = solver.solve(n_orb=20, seed=42)
+        # Same ground-state energy from a different random start.
+        assert other.band_energy == pytest.approx(ground.band_energy, rel=1e-5)
+
+    def test_too_few_orbitals_rejected(self, solver):
+        with pytest.raises(ValueError, match="n_orb"):
+            solver.solve(n_orb=10)  # 16 occupied needed
+
+    def test_fp64_throughout(self, ground):
+        assert ground.orbitals.psi.dtype == np.complex128
+        assert ground.v_eff.dtype == np.float64
+
+
+class TestUpdate:
+    def test_update_preserves_excitation(self, solver, ground):
+        # Mix some virtual character into an occupied orbital: the
+        # block-boundary update must NOT project it away.
+        orb = ground.orbitals.copy()
+        psi = orb.psi.copy()
+        psi[:, 0] = (psi[:, 0] + 0.3 * psi[:, 19]) / np.sqrt(1.09)
+        excited = OrbitalSet(psi, orb.occupations, solver.mesh)
+        updated = solver.update(excited)
+        # Orthonormal again...
+        np.testing.assert_allclose(updated.orbitals.overlap(), np.eye(20), atol=1e-10)
+        # ...but still overlapping the injected virtual state.
+        ov = abs(solver.mesh.braket(updated.orbitals.psi[:, 0], ground.orbitals.psi[:, 19]))
+        assert ov > 0.1
+
+    def test_update_accepts_fp32_storage(self, solver, ground):
+        from repro.types import Precision
+
+        orb32 = ground.orbitals.astype(Precision.FP32)
+        updated = solver.update(orb32)
+        assert updated.orbitals.psi.dtype == np.complex128
+
+    def test_refresh_ionic_tracks_positions(self, solver):
+        v_before = solver.v_ion.copy()
+        solver.material.positions = solver.material.positions + 0.05
+        try:
+            solver.refresh_ionic()
+            assert not np.allclose(solver.v_ion, v_before)
+        finally:
+            solver.material.positions = solver.material.positions - 0.05
+            solver.refresh_ionic()

@@ -1,0 +1,41 @@
+"""Unit tests: shadow-dynamics transfer ledger."""
+
+import pytest
+
+from repro.dcmesh.shadow import Transfer, TransferLedger
+
+
+class TestLedger:
+    def test_record_and_totals(self):
+        led = TransferLedger()
+        led.record("psi_h2d", "h2d", 1000, step=0)
+        led.record("psi_d2h", "d2h", 1000, step=500)
+        led.record("obs", "d2h", 8, step=1)
+        assert led.count() == 3
+        assert led.total_bytes() == 2008
+        assert led.total_bytes("h2d") == 1000
+        assert led.total_bytes("d2h") == 1008
+
+    def test_by_name(self):
+        led = TransferLedger()
+        led.record("psi_h2d", "h2d", 10, 0)
+        led.record("psi_h2d", "h2d", 10, 500)
+        assert led.by_name() == {"psi_h2d": 20}
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            TransferLedger().record("x", "sideways", 1, 0)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError, match="negative"):
+            TransferLedger().record("x", "h2d", -1, 0)
+
+    def test_transfers_are_copies(self):
+        led = TransferLedger()
+        led.record("x", "h2d", 1, 0)
+        led.transfers.clear()
+        assert led.count() == 1
+
+    def test_transfer_record_fields(self):
+        t = Transfer("psi", "d2h", 42, 7)
+        assert (t.name, t.direction, t.nbytes, t.step) == ("psi", "d2h", 42, 7)

@@ -1,0 +1,122 @@
+"""Unit tests: simulation configuration and driver basics.
+
+(The expensive end-to-end behaviour lives in tests/integration.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.dcmesh.laser import LaserPulse
+from repro.dcmesh.simulation import (
+    Simulation,
+    SimulationConfig,
+    estimate_device_bytes,
+)
+from repro.types import Precision
+
+
+class TestConfig:
+    def test_paper_40(self):
+        cfg = SimulationConfig.paper_40()
+        assert cfg.n_atoms == 40
+        assert cfg.mesh_shape == (64, 64, 64)
+        assert cfg.n_orb == 256
+        assert cfg.n_occupied == 128
+        assert cfg.n_grid == 262144          # Table VII's k
+
+    def test_paper_135(self):
+        cfg = SimulationConfig.paper_135()
+        assert cfg.n_atoms == 135
+        assert cfg.mesh_shape == (96, 96, 96)
+        assert cfg.n_orb == 1024
+
+    def test_table3_parameters(self):
+        cfg = SimulationConfig.paper_135()
+        assert cfg.dt == 0.02
+        assert cfg.n_qd_steps == 21_000
+        assert cfg.nscf == 500
+        assert cfg.total_time_fs == pytest.approx(10.0, abs=0.2)
+
+    def test_small_test_is_structurally_complete(self):
+        cfg = SimulationConfig.small_test()
+        assert 0 < cfg.n_occupied < cfg.n_orb
+        assert cfg.n_atoms == 5
+
+    def test_overrides(self):
+        cfg = SimulationConfig.paper_40(n_qd_steps=10, storage=Precision.FP64)
+        assert cfg.n_qd_steps == 10
+        assert cfg.storage is Precision.FP64
+
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="dt"):
+            SimulationConfig.small_test(dt=0.0)
+        with pytest.raises(ValueError, match="n_qd_steps"):
+            SimulationConfig.small_test(n_qd_steps=0)
+        with pytest.raises(ValueError, match="virtual"):
+            SimulationConfig.small_test(n_orb=16)  # == n_occupied
+        with pytest.raises(ValueError, match="storage"):
+            SimulationConfig.small_test(storage=Precision.BF16)
+
+
+class TestDeviceBytes:
+    def test_paper_claims(self):
+        # Table V: 135-atom fits in 64 GB, the next size up does not.
+        assert estimate_device_bytes(SimulationConfig.paper_135()) < 64 * 1024**3
+        big = SimulationConfig(ncells=(4, 4, 4), mesh_shape=(128, 128, 128), n_orb=2048)
+        assert estimate_device_bytes(big) > 64 * 1024**3
+
+    def test_fp64_doubles_footprint(self):
+        f32 = estimate_device_bytes(SimulationConfig.paper_40())
+        f64 = estimate_device_bytes(
+            SimulationConfig.paper_40(storage=Precision.FP64)
+        )
+        assert f64 == pytest.approx(2 * f32, rel=0.01)
+
+
+class TestRunBasics:
+    def test_setup_idempotent(self, tiny_sim):
+        g1 = tiny_sim.setup()
+        g2 = tiny_sim.setup()
+        assert g1 is g2
+
+    def test_record_count(self, tiny_sim, tiny_fp32_run):
+        # One initial record plus one per QD step.
+        assert len(tiny_fp32_run.records) == tiny_sim.config.n_qd_steps + 1
+
+    def test_initial_state_is_ground_state(self, tiny_fp32_run):
+        r0 = tiny_fp32_run.records[0]
+        assert r0.step == 0
+        assert r0.nexc == pytest.approx(0.0, abs=1e-6)
+        assert r0.eexc == 0.0
+
+    def test_mode_recorded(self, tiny_bf16_run):
+        assert tiny_bf16_run.mode is ComputeMode.FLOAT_TO_BF16
+
+    def test_column_access(self, tiny_fp32_run):
+        nexc = tiny_fp32_run.column("nexc")
+        t = tiny_fp32_run.column("time_fs")
+        assert nexc.shape == t.shape
+        assert np.all(np.diff(t) > 0)
+
+    def test_n_steps_override(self, tiny_sim):
+        res = tiny_sim.run(mode="STANDARD", n_steps=5)
+        assert len(res.records) == 6
+
+    def test_invalid_n_steps(self, tiny_sim):
+        with pytest.raises(ValueError, match="n_steps"):
+            tiny_sim.run(n_steps=0)
+
+    def test_shadow_ledger_block_granularity(self, tiny_sim, tiny_fp32_run):
+        # Transfers scale with blocks, not steps: 2 h2d + 1 d2h per block.
+        cfg = tiny_sim.config
+        n_blocks = cfg.n_qd_steps // cfg.nscf
+        assert tiny_fp32_run.ledger.count() == 3 * n_blocks
+
+    def test_laser_column_matches_pulse(self, tiny_sim, tiny_fp32_run):
+        from repro.dcmesh.constants import AU_PER_FS
+
+        cfg = tiny_sim.config
+        rec = tiny_fp32_run.records[10]
+        t_au = rec.time_fs * AU_PER_FS
+        assert rec.aext == pytest.approx(cfg.laser.scalar_amplitude(t_au), abs=1e-12)

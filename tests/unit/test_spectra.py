@@ -1,0 +1,106 @@
+"""Unit tests: optical spectra from QD records."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.constants import AU_PER_FS, FS_PER_AU, HARTREE_EV
+from repro.dcmesh.laser import LaserPulse
+from repro.dcmesh.observables import QDRecord
+from repro.dcmesh.spectra import Spectrum, absorption_spectrum, power_spectrum
+
+
+def _records_from_current(j_of_t, n=512, dt_au=0.5):
+    recs = []
+    for i in range(n):
+        t_au = i * dt_au
+        recs.append(
+            QDRecord(step=i, time_fs=t_au * FS_PER_AU, ekin=0, epot=0,
+                     etot=0, eexc=0, nexc=0, aext=0, javg=float(j_of_t(t_au)))
+        )
+    return recs
+
+
+class TestPowerSpectrum:
+    def test_monochromatic_peak_location(self):
+        omega0 = 0.25  # a.u.
+        recs = _records_from_current(lambda t: np.sin(omega0 * t))
+        spec = power_spectrum(recs)
+        assert spec.peak_energy() == pytest.approx(omega0 * HARTREE_EV, rel=0.05)
+
+    def test_two_tone_peaks(self):
+        w1, w2 = 0.1, 0.4
+        recs = _records_from_current(lambda t: np.sin(w1 * t) + 0.5 * np.sin(w2 * t))
+        spec = power_spectrum(recs)
+        assert spec.peak_energy(window_ev=(w1 * HARTREE_EV * 0.5,
+                                           w1 * HARTREE_EV * 1.5)) == pytest.approx(
+            w1 * HARTREE_EV, rel=0.1
+        )
+        assert spec.peak_energy(window_ev=(w2 * HARTREE_EV * 0.5,
+                                           w2 * HARTREE_EV * 1.5)) == pytest.approx(
+            w2 * HARTREE_EV, rel=0.1
+        )
+
+    def test_damping_broadens(self):
+        omega0 = 0.25
+        recs = _records_from_current(lambda t: np.sin(omega0 * t))
+        sharp = power_spectrum(recs)
+        broad = power_spectrum(recs, damping=0.05)
+        # The damped spectrum's peak is lower and wider.
+        assert broad.values.max() < sharp.values.max()
+
+    def test_energy_axis_monotone(self):
+        recs = _records_from_current(lambda t: np.sin(t))
+        spec = power_spectrum(recs)
+        assert np.all(np.diff(spec.energy_ev) > 0)
+        assert spec.energy_ev[0] == 0.0
+
+    def test_too_few_records(self):
+        recs = _records_from_current(lambda t: 0.0, n=3)
+        with pytest.raises(ValueError, match="at least 4"):
+            power_spectrum(recs)
+
+    def test_nonuniform_grid_rejected(self):
+        recs = _records_from_current(lambda t: 0.0, n=8)
+        bad = list(recs)
+        bad[4] = QDRecord(step=4, time_fs=recs[4].time_fs * 1.5, ekin=0, epot=0,
+                          etot=0, eexc=0, nexc=0, aext=0, javg=0.0)
+        with pytest.raises(ValueError, match="uniformly spaced"):
+            power_spectrum(bad)
+
+    def test_window_outside_range(self):
+        recs = _records_from_current(lambda t: np.sin(t))
+        spec = power_spectrum(recs)
+        with pytest.raises(ValueError, match="window"):
+            spec.peak_energy(window_ev=(1e6, 2e6))
+
+
+class TestAbsorptionSpectrum:
+    def test_masks_unprobed_frequencies(self):
+        laser = LaserPulse(amplitude=0.1, omega=0.2, duration_fs=4.0)
+        recs = _records_from_current(lambda t: 1e-3 * np.sin(0.2 * t), n=256)
+        spec = absorption_spectrum(recs, laser)
+        assert spec.kind == "absorption"
+        # Far above the pulse bandwidth the response is masked to zero.
+        high = spec.values[spec.energy_ev > 60.0]
+        assert np.allclose(high, 0.0)
+
+    def test_driven_oscillator_responds_at_drive(self):
+        laser = LaserPulse(amplitude=0.1, omega=0.25, duration_fs=6.0)
+        # Current responding in quadrature to E(t) along z.
+        t_grid = None
+
+        def j(t):
+            e = laser.electric_field(t)[2]
+            return 0.01 * e
+
+        recs = _records_from_current(j, n=512)
+        spec = absorption_spectrum(recs, laser)
+        # sigma = j/E = 0.01 (real): imaginary part ~ 0 everywhere probed.
+        probed = np.abs(spec.values[(spec.energy_ev > 2) & (spec.energy_ev < 12)])
+        assert probed.max() < 0.01
+
+    def test_from_simulation_records(self, tiny_fp32_run):
+        laser = tiny_fp32_run.config.laser
+        spec = absorption_spectrum(tiny_fp32_run.records, laser)
+        assert np.isfinite(spec.values).all()
+        assert spec.energy_ev.shape == spec.values.shape

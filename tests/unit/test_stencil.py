@@ -1,0 +1,101 @@
+"""Unit tests: finite-difference Laplacian stencils."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.stencil import (
+    STENCIL_COEFFICIENTS,
+    kinetic_apply_fd,
+    laplacian_apply,
+    laplacian_eigenvalue_1d,
+)
+
+
+class TestCoefficients:
+    @pytest.mark.parametrize("order", sorted(STENCIL_COEFFICIENTS))
+    def test_coefficients_sum_to_zero(self, order):
+        # A constant function has zero Laplacian: c0 + 2*sum(cj) = 0.
+        c = STENCIL_COEFFICIENTS[order]
+        assert c[0] + 2 * sum(c[1:]) == pytest.approx(0.0, abs=1e-14)
+
+    @pytest.mark.parametrize("order", sorted(STENCIL_COEFFICIENTS))
+    def test_second_moment_normalised(self, order):
+        # Exactness on x^2 (d2/dx2 = 2): sum over the full symmetric
+        # stencil of c_j * j^2 must equal 2.
+        c = STENCIL_COEFFICIENTS[order]
+        second = 2 * sum(cj * j**2 for j, cj in enumerate(c))
+        assert second == pytest.approx(2.0, rel=1e-12)
+
+
+class TestEigenvalues:
+    def test_approaches_minus_k2(self):
+        k = 1.3
+        for order in (2, 4, 6, 8):
+            val = laplacian_eigenvalue_1d(k, h=0.05, order=order)
+            assert val == pytest.approx(-k * k, rel=1e-3)
+
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_convergence_order(self, order):
+        k = 1.0
+        errs = []
+        for h in (0.2, 0.1):
+            errs.append(abs(laplacian_eigenvalue_1d(k, h, order) + k * k))
+        measured_order = np.log2(errs[0] / errs[1])
+        assert measured_order == pytest.approx(order, abs=0.4)
+
+    def test_higher_order_more_accurate(self):
+        k, h = 1.5, 0.3
+        errs = [abs(laplacian_eigenvalue_1d(k, h, o) + k * k) for o in (2, 4, 6, 8)]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_unsupported_order(self):
+        with pytest.raises(ValueError, match="unsupported stencil order"):
+            laplacian_eigenvalue_1d(1.0, 0.1, order=3)
+
+
+class TestApply:
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        return Mesh((16, 16, 16), (8.0, 8.0, 8.0))
+
+    def test_plane_wave_eigenfunction(self, mesh):
+        kvec = mesh.kvecs[1]  # lowest nonzero harmonic
+        psi = np.exp(1j * mesh.coords @ kvec)[:, None]
+        lap = laplacian_apply(mesh, psi, order=8)
+        # FD eigenvalue per dimension.
+        expect = sum(
+            laplacian_eigenvalue_1d(kvec[d], mesh.spacing[d], 8) for d in range(3)
+        )
+        np.testing.assert_allclose(lap, expect * psi, rtol=1e-10)
+
+    def test_matches_spectral_on_smooth_field(self, mesh):
+        # A low-frequency field: 8th-order FD ~ spectral.
+        kvec = 2 * np.pi / 8.0 * np.array([1.0, 1.0, 0.0])
+        psi = np.cos(mesh.coords @ kvec)[:, None].astype(np.complex128)
+        fd = laplacian_apply(mesh, psi, order=8)
+        spectral = mesh.ifft(mesh.fft(psi) * (-mesh.k2[:, None]))
+        np.testing.assert_allclose(fd, spectral, atol=1e-4 * np.abs(spectral).max())
+
+    def test_constant_annihilated(self, mesh):
+        psi = np.ones((mesh.n_grid, 2), np.complex128)
+        lap = laplacian_apply(mesh, psi, order=4)
+        np.testing.assert_allclose(lap, 0.0, atol=1e-12)
+
+    def test_shape_validation(self, mesh):
+        with pytest.raises(ValueError, match="N_grid"):
+            laplacian_apply(mesh, np.zeros((7, 1)))
+
+    def test_kinetic_sign_and_device(self, mesh):
+        from repro.gpu import Device
+
+        kvec = mesh.kvecs[1]
+        psi = np.exp(1j * mesh.coords @ kvec)[:, None]
+        dev = Device()
+        t_psi = kinetic_apply_fd(mesh, psi, order=4, device=dev)
+        # Positive kinetic energy for a plane wave.
+        e = np.vdot(psi, t_psi).real
+        assert e > 0
+        ev = dev.timeline.events[0]
+        assert ev.name == "fd_stencil_o4"
+        assert ev.kind == "app"

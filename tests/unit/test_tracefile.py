@@ -1,0 +1,70 @@
+"""Unit tests: Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.gpu.timeline import Timeline
+from repro.gpu.tracefile import timeline_to_trace_events, write_chrome_trace
+
+
+@pytest.fixture()
+def timeline():
+    tl = Timeline()
+    tl.append("cgemm", 1e-3, kind="blas", site="nlp_prop")
+    tl.append("fft_forward", 2e-3, kind="app", site="lfd_step")
+    tl.append("psi_h2d", 5e-4, kind="copy")
+    return tl
+
+
+class TestTraceEvents:
+    def test_event_fields(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        assert len(events) == 3
+        first = events[0]
+        assert first["name"] == "cgemm"
+        assert first["ph"] == "X"
+        assert first["ts"] == 0.0
+        assert first["dur"] == pytest.approx(1000.0)  # us
+        assert first["args"]["site"] == "nlp_prop"
+
+    def test_sequential_timestamps(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        assert events[1]["ts"] == pytest.approx(1000.0)
+        assert events[2]["ts"] == pytest.approx(3000.0)
+
+    def test_kind_lanes_distinct(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        tids = {e["cat"]: e["tid"] for e in events}
+        assert len(set(tids.values())) == 3
+
+    def test_no_site_no_args(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        assert events[2]["args"] == {}
+
+
+class TestWriteFile:
+    def test_valid_json_roundtrip(self, timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, timeline)
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == 3
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_creates_parent_dirs(self, timeline, tmp_path):
+        path = tmp_path / "deep" / "trace.json"
+        write_chrome_trace(path, timeline)
+        assert path.exists()
+
+    def test_from_simulated_device(self, tmp_path):
+        from repro.blas.modes import ComputeMode
+        from repro.gpu import Device
+
+        dev = Device()
+        dev.record_gemm("cgemm", 128, 128, 1000, ComputeMode.STANDARD, site="remap_occ")
+        dev.record_stream("fft", 1e6)
+        path = tmp_path / "dev.json"
+        write_chrome_trace(path, dev.timeline)
+        payload = json.loads(path.read_text())
+        names = [e["name"] for e in payload["traceEvents"]]
+        assert names == ["cgemm", "fft"]

@@ -1,0 +1,58 @@
+"""Unit tests: precision vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    EXPONENT_BITS,
+    MANTISSA_BITS,
+    Precision,
+    complex_dtype,
+    real_dtype,
+)
+
+
+class TestFormatTable:
+    def test_table4_mantissa_bits(self):
+        assert MANTISSA_BITS[Precision.FP64] == 52
+        assert MANTISSA_BITS[Precision.FP32] == 23
+        assert MANTISSA_BITS[Precision.TF32] == 10
+        assert MANTISSA_BITS[Precision.BF16] == 7
+
+    def test_table4_exponent_bits(self):
+        assert EXPONENT_BITS[Precision.FP64] == 11
+        assert EXPONENT_BITS[Precision.FP32] == 8
+        assert EXPONENT_BITS[Precision.TF32] == 8
+        assert EXPONENT_BITS[Precision.BF16] == 8
+
+    def test_tf32_is_bf16_exponent_fp16_mantissa(self):
+        # The paper's observation about TF32's hybrid layout.
+        assert EXPONENT_BITS[Precision.TF32] == EXPONENT_BITS[Precision.BF16]
+        assert MANTISSA_BITS[Precision.TF32] == MANTISSA_BITS[Precision.FP16]
+
+
+class TestDtypes:
+    def test_native_flags(self):
+        assert Precision.FP64.is_native
+        assert Precision.FP32.is_native
+        assert not Precision.BF16.is_native
+        assert not Precision.TF32.is_native
+
+    def test_real_storage(self):
+        assert real_dtype(Precision.FP64) == np.float64
+        assert real_dtype(Precision.FP32) == np.float32
+        # Emulated formats live in FP32 carriers.
+        assert real_dtype(Precision.BF16) == np.float32
+        assert real_dtype(Precision.TF32) == np.float32
+        assert real_dtype(Precision.FP16) == np.float16
+
+    def test_complex_storage(self):
+        assert complex_dtype(Precision.FP64) == np.complex128
+        assert complex_dtype(Precision.FP32) == np.complex64
+        assert complex_dtype(Precision.BF16) == np.complex64
+
+    def test_int8_has_no_float_dtype(self):
+        with pytest.raises(ValueError):
+            real_dtype(Precision.INT8)
+        with pytest.raises(ValueError):
+            complex_dtype(Precision.INT8)

@@ -1,0 +1,116 @@
+"""Unit tests: orbital sets (the N_grid x N_orb matrix)."""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.mesh import Mesh
+from repro.dcmesh.wavefunction import OrbitalSet
+from repro.types import Precision
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh((8, 8, 8), (5.0, 5.0, 5.0))
+
+
+class TestConstruction:
+    def test_random_is_orthonormal(self, mesh):
+        orb = OrbitalSet.random(mesh, n_orb=6, n_occupied=3, seed=1)
+        s = orb.overlap()
+        np.testing.assert_allclose(s, np.eye(6), atol=1e-12)
+
+    def test_random_deterministic(self, mesh):
+        a = OrbitalSet.random(mesh, 4, 2, seed=5)
+        b = OrbitalSet.random(mesh, 4, 2, seed=5)
+        np.testing.assert_array_equal(a.psi, b.psi)
+
+    def test_occupations_layout(self, mesh):
+        orb = OrbitalSet.random(mesh, 6, 4, seed=0)
+        np.testing.assert_array_equal(orb.occupations, [2, 2, 2, 2, 0, 0])
+        assert orb.n_electrons == 8.0
+        assert orb.n_occupied == 4
+
+    def test_shape_validation(self, mesh):
+        with pytest.raises(ValueError, match="grid points"):
+            OrbitalSet(np.zeros((100, 2), np.complex128), np.zeros(2), mesh)
+        with pytest.raises(ValueError, match="occupations shape"):
+            OrbitalSet(np.zeros((mesh.n_grid, 2), np.complex128), np.zeros(3), mesh)
+
+    def test_occupation_range_validation(self, mesh):
+        psi = np.zeros((mesh.n_grid, 1), np.complex128)
+        with pytest.raises(ValueError, match="occupations"):
+            OrbitalSet(psi, np.array([-0.1]), mesh)
+        with pytest.raises(ValueError, match="occupations"):
+            OrbitalSet(psi, np.array([2.5]), mesh)
+
+    def test_invalid_n_occupied(self, mesh):
+        with pytest.raises(ValueError, match="n_occupied"):
+            OrbitalSet.random(mesh, 4, 5, seed=0)
+
+
+class TestOrthonormalisation:
+    def test_restores_orthonormality(self, mesh, rng):
+        orb = OrbitalSet.random(mesh, 5, 3, seed=2)
+        # Perturb.
+        orb.psi = orb.psi + 0.01 * (
+            rng.standard_normal(orb.psi.shape) + 1j * rng.standard_normal(orb.psi.shape)
+        )
+        orb.orthonormalize()
+        np.testing.assert_allclose(orb.overlap(), np.eye(5), atol=1e-12)
+
+    def test_lowdin_is_minimal_change(self, mesh):
+        # Already-orthonormal orbitals are (numerically) unchanged.
+        orb = OrbitalSet.random(mesh, 4, 2, seed=3)
+        before = orb.psi.copy()
+        orb.orthonormalize()
+        np.testing.assert_allclose(orb.psi, before, atol=1e-12)
+
+    def test_fp32_storage_roundtrip(self, mesh):
+        orb = OrbitalSet.random(mesh, 4, 2, seed=4).astype(Precision.FP32)
+        orb.orthonormalize()
+        assert orb.psi.dtype == np.complex64
+        np.testing.assert_allclose(orb.overlap(), np.eye(4), atol=1e-6)
+
+    def test_singular_set_raises(self, mesh):
+        psi = np.zeros((mesh.n_grid, 2), np.complex128)
+        psi[:, 0] = 1.0
+        psi[:, 1] = 1.0  # linearly dependent
+        orb = OrbitalSet(psi, np.array([2.0, 0.0]), mesh)
+        with pytest.raises(np.linalg.LinAlgError):
+            orb.orthonormalize()
+
+    def test_norms_after(self, mesh):
+        orb = OrbitalSet.random(mesh, 3, 1, seed=6)
+        np.testing.assert_allclose(orb.norms(), 1.0, rtol=1e-12)
+
+
+class TestDensity:
+    def test_density_integrates_to_electron_count(self, mesh):
+        orb = OrbitalSet.random(mesh, 6, 4, seed=7)
+        n = orb.density()
+        assert np.sum(n) * mesh.dv == pytest.approx(orb.n_electrons)
+
+    def test_density_nonnegative(self, mesh):
+        orb = OrbitalSet.random(mesh, 6, 4, seed=8)
+        assert orb.density().min() >= 0
+
+    def test_virtuals_do_not_contribute(self, mesh):
+        orb = OrbitalSet.random(mesh, 4, 2, seed=9)
+        n_before = orb.density()
+        orb.psi[:, 2:] *= 7.0  # scale virtual columns only
+        np.testing.assert_allclose(orb.density(), n_before, rtol=1e-12)
+
+
+class TestConversions:
+    def test_astype_copies(self, mesh):
+        orb = OrbitalSet.random(mesh, 3, 2, seed=10)
+        f32 = orb.astype(Precision.FP32)
+        assert f32.psi.dtype == np.complex64
+        f32.psi[:] = 0
+        assert np.abs(orb.psi).max() > 0
+
+    def test_copy_independent(self, mesh):
+        orb = OrbitalSet.random(mesh, 3, 2, seed=11)
+        cp = orb.copy()
+        cp.occupations[0] = 0.0
+        assert orb.occupations[0] == 2.0
