@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench repro report claims examples clean
+.PHONY: install test test-fast bench bench-split repro report claims examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,10 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-split:
+	$(PYTHON) -m pytest benchmarks/test_split_gemm_perf.py -q -p no:cacheprovider
+	$(PYTHON) scripts/check_bench_regression.py
 
 repro:
 	$(PYTHON) -m repro.experiments.runner all --output repro_output/

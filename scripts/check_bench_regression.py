@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Gate the split-plan fast path against stored speedup floors.
+
+Reads ``BENCH_splitgemm.json`` (produced by
+``benchmarks/test_split_gemm_perf.py``) and fails — exit code 1 — if
+any mode's prepared-vs-cold speedup dropped below its floor in
+``benchmarks/splitgemm_floors.json``, or if any mode's prepared output
+was not bitwise identical to the cold path.
+
+Usage::
+
+    python scripts/check_bench_regression.py [results.json] [floors.json]
+
+Run via ``make bench-split``, which regenerates the results first.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_RESULTS = REPO_ROOT / "BENCH_splitgemm.json"
+DEFAULT_FLOORS = REPO_ROOT / "benchmarks" / "splitgemm_floors.json"
+
+
+def check(results_path: Path, floors_path: Path) -> int:
+    try:
+        results = json.loads(results_path.read_text())
+    except FileNotFoundError:
+        print(
+            f"error: {results_path} not found — run "
+            "`pytest benchmarks/test_split_gemm_perf.py` (or `make bench-split`) first",
+            file=sys.stderr,
+        )
+        return 1
+    floors = json.loads(floors_path.read_text())["floors"]
+
+    rows = {row["mode"]: row for row in results["results"]}
+    failures = []
+    for mode, floor in floors.items():
+        row = rows.get(mode)
+        if row is None:
+            failures.append(f"{mode}: missing from {results_path.name}")
+            continue
+        status = "ok"
+        if not row["bitwise_identical"]:
+            failures.append(f"{mode}: prepared output NOT bitwise identical")
+            status = "BITWISE MISMATCH"
+        if row["speedup"] < floor:
+            failures.append(
+                f"{mode}: speedup {row['speedup']:.2f}x below floor {floor:.2f}x"
+            )
+            status = "BELOW FLOOR"
+        print(
+            f"{mode:<18} speedup {row['speedup']:6.2f}x  (floor {floor:.2f}x)  "
+            f"cold {row['cold_seconds'] * 1e3:7.2f} ms  "
+            f"prepared {row['prepared_seconds'] * 1e3:7.2f} ms  [{status}]"
+        )
+
+    if failures:
+        print("\nsplit-GEMM fast-path regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nsplit-GEMM fast-path regression check passed.")
+    return 0
+
+
+def main(argv) -> int:
+    results = Path(argv[1]) if len(argv) > 1 else DEFAULT_RESULTS
+    floors = Path(argv[2]) if len(argv) > 2 else DEFAULT_FLOORS
+    return check(results, floors)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

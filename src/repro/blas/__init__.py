@@ -37,9 +37,28 @@ from repro.blas.rounding import (
     split_bf16,
     split_tf32,
 )
-from repro.blas.gemm import gemm, sgemm, dgemm, cgemm, zgemm
+from repro.blas.gemm import (
+    gemm,
+    sgemm,
+    dgemm,
+    cgemm,
+    zgemm,
+    check_finite,
+    finite_checks,
+    finite_checks_enabled,
+)
 from repro.blas.batch import gemm_batch
 from repro.blas.complex3m import gemm_3m
+from repro.blas.plan import (
+    PreparedOperand,
+    plan_cache,
+    plan_cache_clear,
+    plan_cache_info,
+    prepare,
+    release,
+    set_plan_cache,
+)
+from repro.blas.workspace import clear_workspace, fused_mode, set_fused_mode
 from repro.blas.level1 import axpy, dotc, nrm2, scal
 from repro.blas.policy import SitePolicy, active_policy
 from repro.blas.verbose import (
@@ -68,6 +87,19 @@ __all__ = [
     "cgemm",
     "zgemm",
     "gemm_3m",
+    "check_finite",
+    "finite_checks",
+    "finite_checks_enabled",
+    "PreparedOperand",
+    "prepare",
+    "release",
+    "plan_cache",
+    "plan_cache_clear",
+    "plan_cache_info",
+    "set_plan_cache",
+    "clear_workspace",
+    "fused_mode",
+    "set_fused_mode",
     "SitePolicy",
     "active_policy",
     "axpy",

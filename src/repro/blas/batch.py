@@ -16,23 +16,21 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.blas.complex3m import gemm_3m, gemm_4m
-from repro.blas.gemm import _compute, _current_site, _routine_name, _working_dtype, current_device
+from repro.blas.gemm import (
+    _anon_worth_it,
+    _assert_finite,
+    _compute,
+    _current_site,
+    _routine_name,
+    _working_dtype,
+    current_device,
+    finite_checks_enabled,
+)
 from repro.blas.modes import ComputeMode, resolve_mode
+from repro.blas.plan import PreparedOperand, operand_handle
 from repro.blas.verbose import VerboseRecord, record_call, verbose_enabled
 
 __all__ = ["gemm_batch"]
-
-
-def _apply_trans_batched(x: np.ndarray, trans: str) -> np.ndarray:
-    if trans == "N":
-        return x
-    if trans == "T":
-        return np.swapaxes(x, -1, -2)
-    if trans == "C":
-        out = np.swapaxes(x, -1, -2)
-        return out.conj() if np.iscomplexobj(out) else out
-    raise ValueError(f"trans must be 'N', 'T' or 'C', got {trans!r}")
 
 
 def gemm_batch(
@@ -53,33 +51,40 @@ def gemm_batch(
     alpha, trans_a, trans_b, mode:
         As in :func:`repro.blas.gemm.gemm`.
     """
-    a = np.asarray(a)
-    b = np.asarray(b)
-    if a.ndim != 3 or b.ndim != 3:
+    a_plan = a if isinstance(a, PreparedOperand) else None
+    b_plan = b if isinstance(b, PreparedOperand) else None
+    a_arr = a_plan.array if a_plan is not None else np.asarray(a)
+    b_arr = b_plan.array if b_plan is not None else np.asarray(b)
+    if a_arr.ndim != 3 or b_arr.ndim != 3:
         raise ValueError(
-            f"gemm_batch requires 3-D stacks, got {a.ndim}-D and {b.ndim}-D"
+            f"gemm_batch requires 3-D stacks, got {a_arr.ndim}-D and {b_arr.ndim}-D"
         )
-    if a.shape[0] != b.shape[0]:
+    if a_arr.shape[0] != b_arr.shape[0]:
         raise ValueError(
-            f"batch dimensions differ: {a.shape[0]} vs {b.shape[0]}"
+            f"batch dimensions differ: {a_arr.shape[0]} vs {b_arr.shape[0]}"
         )
-    if not np.isfinite(a).all() or not np.isfinite(b).all():
-        raise FloatingPointError("gemm_batch received non-finite input")
+    if finite_checks_enabled():
+        _assert_finite("gemm_batch", a_arr, b_arr, a_plan, b_plan)
 
-    dtype = _working_dtype(a, b)
-    op_a = _apply_trans_batched(a.astype(dtype, copy=False), trans_a)
-    op_b = _apply_trans_batched(b.astype(dtype, copy=False), trans_b)
-    if op_a.shape[-1] != op_b.shape[-2]:
-        raise ValueError(
-            f"inner dimensions differ: op(A) {op_a.shape} @ op(B) {op_b.shape}"
-        )
-    batch, m, k = op_a.shape
-    n = op_b.shape[-1]
+    dtype = _working_dtype(a_arr, b_arr)
     effective = resolve_mode(mode)
     routine = _routine_name(dtype)
+    anon = _anon_worth_it(effective, dtype)
+    a_h = operand_handle(
+        a_plan if a_plan is not None else a_arr, trans_a, dtype, allow_anonymous=anon
+    )
+    b_h = operand_handle(
+        b_plan if b_plan is not None else b_arr, trans_b, dtype, allow_anonymous=anon
+    )
+    if a_h.shape[-1] != b_h.shape[-2]:
+        raise ValueError(
+            f"inner dimensions differ: op(A) {a_h.shape} @ op(B) {b_h.shape}"
+        )
+    batch, m, k = a_h.shape
+    n = b_h.shape[-1]
 
     t0 = time.perf_counter()
-    out = _compute(op_a, op_b, effective, dtype)
+    out = _compute(a_h, b_h, effective, dtype)
     wall = time.perf_counter() - t0
     if alpha != 1.0:
         out = (alpha * out).astype(dtype, copy=False)

@@ -27,11 +27,12 @@ from typing import Iterator, Optional, Union
 
 import numpy as np
 
-from repro.blas.complex3m import gemm_3m, gemm_4m
+from repro.blas.complex3m import gemm_3m_planned, gemm_4m_split_planned
 from repro.blas.modes import ComputeMode, resolve_mode
+from repro.blas.plan import OrientedOperand, PreparedOperand, operand_handle
 from repro.blas.rounding import round_to_precision
-from repro.blas.split import split_gemm_real
 from repro.blas.verbose import VerboseRecord, record_call, verbose_enabled
+from repro.blas.workspace import split_gemm_fused
 
 __all__ = [
     "gemm",
@@ -42,6 +43,9 @@ __all__ = [
     "use_device",
     "current_device",
     "call_site",
+    "check_finite",
+    "finite_checks_enabled",
+    "finite_checks",
 ]
 
 _TRANS_VALUES = ("N", "T", "C")
@@ -96,18 +100,51 @@ def _current_site() -> str:
 
 
 # ----------------------------------------------------------------------
-# Helpers.
+# Opt-in input validation.
+#
+# The historical per-call ``np.isfinite(A).all()`` scans are an
+# O(m*k + k*n) full-matrix read on every GEMM — measurable on the LFD
+# hot path, where the big operands are scanned three times per QD step.
+# They are now a process-wide toggle: off by default (the simulation
+# hot loop), switched on by the test suite's conftest.
 # ----------------------------------------------------------------------
 
+_check_finite_enabled = False
 
-def _apply_trans(x: np.ndarray, trans: str) -> np.ndarray:
-    if trans == "N":
-        return x
-    if trans == "T":
-        return x.T
-    if trans == "C":
-        return x.conj().T if np.iscomplexobj(x) else x.T
-    raise ValueError(f"trans must be one of {_TRANS_VALUES}, got {trans!r}")
+
+def check_finite(enabled: bool) -> None:
+    """Enable/disable the non-finite input scans on every GEMM call."""
+    global _check_finite_enabled
+    _check_finite_enabled = bool(enabled)
+
+
+def finite_checks_enabled() -> bool:
+    """Whether GEMM entry points scan their inputs for Inf/NaN."""
+    return _check_finite_enabled
+
+
+@contextlib.contextmanager
+def finite_checks(enabled: bool) -> Iterator[None]:
+    """Scoped :func:`check_finite` toggle."""
+    global _check_finite_enabled
+    prev = _check_finite_enabled
+    _check_finite_enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _check_finite_enabled = prev
+
+
+def _assert_finite(routine: str, a, b, a_plan=None, b_plan=None) -> None:
+    a_ok = a_plan.is_finite() if a_plan is not None else bool(np.isfinite(a).all())
+    b_ok = b_plan.is_finite() if b_plan is not None else bool(np.isfinite(b).all())
+    if not (a_ok and b_ok):
+        raise FloatingPointError(f"{routine} received non-finite input")
+
+
+# ----------------------------------------------------------------------
+# Helpers.
+# ----------------------------------------------------------------------
 
 
 def _routine_name(dtype: np.dtype) -> str:
@@ -129,37 +166,47 @@ def _working_dtype(a: np.ndarray, b: np.ndarray) -> np.dtype:
     return np.dtype(np.float64)
 
 
-def _low_precision_real_gemm(mode: ComputeMode):
-    precision = mode.component_precision
-    n_terms = mode.n_terms
+def _anon_worth_it(mode: ComputeMode, dtype: np.dtype) -> bool:
+    """Whether an anonymous plan-cache lookup can pay for itself.
 
-    def rg(x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        return split_gemm_real(x, y, precision, n_terms)
+    The lookup costs one content-hash pass over the operand.  Only the
+    split-precision paths re-derive enough per call (rounding passes
+    over every split term) to amortise that; for STANDARD/3M the
+    derived forms are a few cheap packing passes, so hashing every
+    fresh operand would be a net loss on the hot path.
+    """
+    return mode.is_low_precision and dtype in (
+        np.dtype(np.float32),
+        np.dtype(np.complex64),
+    )
 
-    return rg
 
+def _compute(a_h: OrientedOperand, b_h: OrientedOperand, mode: ComputeMode, dtype: np.dtype) -> np.ndarray:
+    """Run ``op(A) @ op(B)`` under ``mode`` over operand handles.
 
-def _compute(a: np.ndarray, b: np.ndarray, mode: ComputeMode, dtype: np.dtype) -> np.ndarray:
-    """Run ``a @ b`` under ``mode`` (inputs already oriented/cast)."""
+    The handles serve every derived operand form (contiguous casts,
+    real/imag parts, split-term stacks) from their plans, so a
+    prepared/cached operand contributes no per-call conversion work.
+    """
     is_complex = dtype.kind == "c"
     is_single = dtype in (np.dtype(np.float32), np.dtype(np.complex64))
 
     if mode.is_low_precision and is_single:
-        rg = _low_precision_real_gemm(mode)
         if is_complex:
             # MKL composes FLOAT_TO_* with the standard 4M complex
             # decomposition: each real component GEMM is split.
-            return gemm_4m(a, b, real_gemm=rg)
+            return gemm_4m_split_planned(
+                a_h, b_h, mode.component_precision, mode.n_terms
+            )
         # Real single precision: inputs are rounded/split directly.
-        return rg(np.ascontiguousarray(a, dtype=np.float32),
-                  np.ascontiguousarray(b, dtype=np.float32))
+        return split_gemm_fused(a_h, b_h, mode.component_precision, mode.n_terms)
 
     if mode.uses_3m and is_complex:
-        return gemm_3m(a, b)
+        return gemm_3m_planned(a_h, b_h)
 
     # STANDARD, or a mode that does not apply to this routine
     # (FLOAT_TO_* on dgemm/zgemm, COMPLEX_3M on real routines).
-    return np.matmul(np.ascontiguousarray(a), np.ascontiguousarray(b)).astype(dtype, copy=False)
+    return np.matmul(a_h.contiguous(), b_h.contiguous()).astype(dtype, copy=False)
 
 
 # ----------------------------------------------------------------------
@@ -201,26 +248,22 @@ def gemm(
     numpy.ndarray
         The ``m x n`` result in the promoted storage dtype.
     """
-    a = np.asarray(a)
-    b = np.asarray(b)
-    if a.ndim != 2 or b.ndim != 2:
-        raise ValueError(f"gemm requires 2-D operands, got {a.ndim}-D and {b.ndim}-D")
+    a_plan = a if isinstance(a, PreparedOperand) else None
+    b_plan = b if isinstance(b, PreparedOperand) else None
+    a_arr = a_plan.array if a_plan is not None else np.asarray(a)
+    b_arr = b_plan.array if b_plan is not None else np.asarray(b)
+    if a_arr.ndim != 2 or b_arr.ndim != 2:
+        raise ValueError(
+            f"gemm requires 2-D operands, got {a_arr.ndim}-D and {b_arr.ndim}-D"
+        )
     if trans_a not in _TRANS_VALUES or trans_b not in _TRANS_VALUES:
         raise ValueError(
             f"trans flags must be in {_TRANS_VALUES}, got {trans_a!r}, {trans_b!r}"
         )
-    if not np.isfinite(a).all() or not np.isfinite(b).all():
-        raise FloatingPointError("gemm received non-finite input")
+    if finite_checks_enabled():
+        _assert_finite("gemm", a_arr, b_arr, a_plan, b_plan)
 
-    dtype = _working_dtype(a, b)
-    op_a = _apply_trans(a.astype(dtype, copy=False), trans_a)
-    op_b = _apply_trans(b.astype(dtype, copy=False), trans_b)
-    if op_a.shape[1] != op_b.shape[0]:
-        raise ValueError(
-            f"inner dimensions differ: op(A) is {op_a.shape}, op(B) is {op_b.shape}"
-        )
-    m, k = op_a.shape
-    n = op_b.shape[1]
+    dtype = _working_dtype(a_arr, b_arr)
 
     # Mode resolution: explicit > site policy > ambient (context /
     # global / environment).  Site policies are the per-call mixing
@@ -236,8 +279,24 @@ def gemm(
         effective = resolve_mode(mode)
     routine = _routine_name(dtype)
 
+    anon = _anon_worth_it(effective, dtype)
+    a_h = operand_handle(
+        a_plan if a_plan is not None else a_arr, trans_a, dtype, allow_anonymous=anon
+    )
+    b_h = operand_handle(
+        b_plan if b_plan is not None else b_arr, trans_b, dtype, allow_anonymous=anon
+    )
+    op_a_shape = a_h.shape
+    op_b_shape = b_h.shape
+    if op_a_shape[1] != op_b_shape[0]:
+        raise ValueError(
+            f"inner dimensions differ: op(A) is {op_a_shape}, op(B) is {op_b_shape}"
+        )
+    m, k = op_a_shape
+    n = op_b_shape[1]
+
     t0 = time.perf_counter()
-    out = _compute(op_a, op_b, effective, dtype)
+    out = _compute(a_h, b_h, effective, dtype)
     wall = time.perf_counter() - t0
 
     if alpha != 1.0:
@@ -275,32 +334,47 @@ def gemm(
 
 
 def _typed(dtype):
+    dtype = np.dtype(dtype)
+
+    def coerce(x):
+        # Prepared operands of the right dtype pass through untouched so
+        # their cached derived forms stay usable.
+        if isinstance(x, PreparedOperand):
+            return x if x.array.dtype == dtype else np.asarray(x.array, dtype=dtype)
+        return np.asarray(x, dtype=dtype)
+
     def wrapper(a, b, **kwargs):
-        a = np.asarray(a, dtype=dtype)
-        b = np.asarray(b, dtype=dtype)
-        return gemm(a, b, **kwargs)
+        return gemm(coerce(a), coerce(b), **kwargs)
 
     return wrapper
 
 
+# Hoisted typed wrappers: building the closure per call made every
+# sgemm/cgemm pay a function construction + dict lookup on the hot path.
+_sgemm_typed = _typed(np.float32)
+_dgemm_typed = _typed(np.float64)
+_cgemm_typed = _typed(np.complex64)
+_zgemm_typed = _typed(np.complex128)
+
+
 def sgemm(a, b, **kwargs):
     """Single-precision real GEMM (mode-sensitive)."""
-    return _typed(np.float32)(a, b, **kwargs)
+    return _sgemm_typed(a, b, **kwargs)
 
 
 def dgemm(a, b, **kwargs):
     """Double-precision real GEMM (always standard arithmetic)."""
-    return _typed(np.float64)(a, b, **kwargs)
+    return _dgemm_typed(a, b, **kwargs)
 
 
 def cgemm(a, b, **kwargs):
     """Single-precision complex GEMM — the routine DCMESH's LFD lives in."""
-    return _typed(np.complex64)(a, b, **kwargs)
+    return _cgemm_typed(a, b, **kwargs)
 
 
 def zgemm(a, b, **kwargs):
     """Double-precision complex GEMM (only ``COMPLEX_3M`` applies)."""
-    return _typed(np.complex128)(a, b, **kwargs)
+    return _zgemm_typed(a, b, **kwargs)
 
 
 # Re-export for modules that want to round storage explicitly.

@@ -63,9 +63,19 @@ def round_mantissa(x: np.ndarray, keep_bits: int) -> np.ndarray:
         return x32.copy() if x32 is x else x32
     drop = _FP32_MANTISSA - keep_bits
     u = x32.view(np.uint32)
+    # All shift/mask constants as np.uint32: mixing Python ints into
+    # uint32 ops relies on NumPy's value-based casting, which NumPy >= 2
+    # (NEP 50) resolves differently (and loudly) — keep every operand in
+    # the array's dtype so the arithmetic is unambiguous and warning-free.
     half = np.uint32((1 << (drop - 1)) - 1)
     guard = (u >> np.uint32(drop)) & np.uint32(1)
-    rounded = (u + half + guard) & np.uint32(~((1 << drop) - 1) & 0xFFFFFFFF)
+    keep_mask = np.uint32((0xFFFFFFFF << drop) & 0xFFFFFFFF)
+    # `u + half + guard` wraps (mod 2^32) only for Inf/NaN patterns,
+    # whose results are discarded by the `special` restore below; for
+    # every finite input the sum stays in range and a mantissa overflow
+    # carries into the exponent — exactly IEEE round-up (see the
+    # regression test at the all-ones-mantissa boundary).
+    rounded = (u + half + guard) & keep_mask
     # Preserve Inf/NaN bit patterns: the add above would corrupt them.
     special = (u & _EXP_MASK) == _EXP_MASK
     out = np.where(special, u, rounded)

@@ -26,7 +26,7 @@ import numpy as np
 from repro.blas.rounding import split_terms
 from repro.types import MANTISSA_BITS, Precision
 
-__all__ = ["split_gemm_real", "component_pairs"]
+__all__ = ["split_gemm_real", "split_gemm_reference", "component_pairs"]
 
 
 def component_pairs(n_terms: int):
@@ -54,21 +54,56 @@ def split_gemm_real(
 ) -> np.ndarray:
     """Compute ``a @ b`` with split-precision inputs, FP32 accumulation.
 
+    Routed through the split-plan layer: operand splits are cached
+    (:mod:`repro.blas.plan`) and the component products run on the
+    fused engine (:mod:`repro.blas.workspace`).  Results are bitwise
+    identical to :func:`split_gemm_reference`.
+
     Parameters
     ----------
     a, b:
         Real FP32 operands with matmul-compatible shapes: plain 2-D
         matrices or stacked batches ``(..., m, k) @ (..., k, n)`` (the
         ``gemm_batch`` case), already in the orientation to be
-        multiplied (any transposition resolved by the caller).
+        multiplied (any transposition resolved by the caller).  Either
+        may be a :class:`repro.blas.plan.PreparedOperand` wrapping such
+        an array.
     precision:
         Component format (``Precision.BF16`` or ``Precision.TF32``).
     n_terms:
         Number of split terms per input (1, 2 or 3 in oneMKL).
     """
+    from repro.blas.plan import operand_handle
+    from repro.blas.workspace import split_gemm_fused
+
+    a_arr = a.array if hasattr(a, "array") else np.asarray(a)
+    b_arr = b.array if hasattr(b, "array") else np.asarray(b)
+    if a_arr.ndim < 2 or b_arr.ndim < 2:
+        raise ValueError(
+            f"split_gemm_real needs >= 2-D inputs, got {a_arr.ndim}-D and {b_arr.ndim}-D"
+        )
+    if a_arr.shape[-1] != b_arr.shape[-2]:
+        raise ValueError(f"inner dimensions differ: {a_arr.shape} @ {b_arr.shape}")
+    a_h = operand_handle(a, "N", np.float32)
+    b_h = operand_handle(b, "N", np.float32)
+    return split_gemm_fused(a_h, b_h, precision, n_terms)
+
+
+def split_gemm_reference(
+    a: np.ndarray,
+    b: np.ndarray,
+    precision: Precision,
+    n_terms: int,
+) -> np.ndarray:
+    """Naive reference engine: per-pair matmuls with fresh temporaries.
+
+    This is the original (pre-plan) implementation, kept as the golden
+    oracle: :func:`split_gemm_real`'s fused/cached path must match it
+    *bitwise* for all inputs (see the property tests).
+    """
     if a.ndim < 2 or b.ndim < 2:
         raise ValueError(
-            f"split_gemm_real needs >= 2-D inputs, got {a.ndim}-D and {b.ndim}-D"
+            f"split_gemm_reference needs >= 2-D inputs, got {a.ndim}-D and {b.ndim}-D"
         )
     if a.shape[-1] != b.shape[-2]:
         raise ValueError(f"inner dimensions differ: {a.shape} @ {b.shape}")

@@ -1,0 +1,217 @@
+"""Preallocated workspaces and the fused split-GEMM component engine.
+
+A BF16X3 ``sgemm`` is six FP32 component products; composed with the
+4M complex decomposition a single ``cgemm`` issues up to 24 separate
+``np.matmul`` calls, each allocating a fresh ``(m, n)`` temporary that
+is immediately folded into a running sum and discarded.  This module
+removes both costs:
+
+* a thread-local :class:`Workspace` hands out reusable scratch buffers
+  keyed by ``(tag, shape, dtype)`` — the product temporaries and the
+  gathered component stacks live there across calls;
+* :func:`fused_pair_products` evaluates all ``n(n+1)/2`` component
+  pairs either as **one batched 3-D** ``np.matmul`` over stacked
+  operands or as an ``out=``-accumulated loop (configurable; ``auto``
+  picks by stack size), then accumulates most-significant-first.
+
+Bit-exactness is the hard contract.  NumPy evaluates a stacked matmul
+slice-by-slice with the same inner kernel as the 2-D call *provided the
+slices are C-contiguous* (strided slices may take a different path —
+the engine therefore only ever batches freshly gathered contiguous
+stacks), ``out=`` writes the identical product bytes, and in-place
+``np.add`` is the same IEEE addition as the cold path's ``out + prod``.
+The accumulation visits pairs in :func:`repro.blas.split.component_pairs`
+order, so every intermediate sum matches the naive loop bit-for-bit.
+The golden property tests (``tests/property/test_prop_plan_golden.py``)
+enforce this against the naive reference for every mode.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.types import MANTISSA_BITS, Precision
+
+__all__ = [
+    "Workspace",
+    "fused_pair_products",
+    "split_gemm_fused",
+    "get_workspace",
+    "clear_workspace",
+    "fused_mode",
+    "set_fused_mode",
+    "get_fused_mode",
+]
+
+#: ``auto`` batches when the gathered stacks + product buffer fit here.
+BATCH_BYTES_CAP = 32 << 20
+
+_FUSED_MODES = ("auto", "batched", "loop")
+_fused_mode = "auto"
+
+_tls = threading.local()
+
+
+class Workspace:
+    """Reusable scratch buffers keyed by ``(tag, shape, dtype)``.
+
+    Buffers are only ever lent out for the duration of one engine call
+    and never returned to callers, so reuse cannot alias results.
+    """
+
+    def __init__(self):
+        self._buffers = {}
+
+    def get(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        key = (tag, tuple(shape), np.dtype(dtype).str)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+
+def get_workspace() -> Workspace:
+    """The calling thread's workspace (created on first use)."""
+    ws = getattr(_tls, "ws", None)
+    if ws is None:
+        ws = _tls.ws = Workspace()
+    return ws
+
+
+def clear_workspace() -> None:
+    """Release the calling thread's scratch buffers."""
+    ws = getattr(_tls, "ws", None)
+    if ws is not None:
+        ws.clear()
+
+
+def set_fused_mode(mode: str) -> None:
+    """Select the component-product evaluation strategy.
+
+    ``batched``: single stacked 3-D matmul; ``loop``: ``out=``-reusing
+    per-pair matmuls; ``auto`` (default): batched while the stacks fit
+    in :data:`BATCH_BYTES_CAP`, loop beyond.
+    """
+    global _fused_mode
+    if mode not in _FUSED_MODES:
+        raise ValueError(f"fused mode must be one of {_FUSED_MODES}, got {mode!r}")
+    _fused_mode = mode
+
+
+def get_fused_mode() -> str:
+    return _fused_mode
+
+
+@contextlib.contextmanager
+def fused_mode(mode: str) -> Iterator[None]:
+    """Scoped :func:`set_fused_mode` (the golden tests sweep both paths)."""
+    prev = _fused_mode
+    set_fused_mode(mode)
+    try:
+        yield
+    finally:
+        set_fused_mode(prev)
+
+
+def _should_batch(a_terms: np.ndarray, b_terms: np.ndarray, n_pairs: int, out_shape) -> bool:
+    if _fused_mode == "batched":
+        return True
+    if _fused_mode == "loop":
+        return False
+    slice_bytes = a_terms[0].nbytes + b_terms[0].nbytes
+    prod_bytes = int(np.prod(out_shape)) * a_terms.dtype.itemsize
+    return n_pairs * (slice_bytes + prod_bytes) <= BATCH_BYTES_CAP
+
+
+def fused_pair_products(
+    a_terms: np.ndarray,
+    b_terms: np.ndarray,
+    pairs: Sequence[Tuple[int, int]],
+) -> np.ndarray:
+    """``sum(a_terms[i-1] @ b_terms[j-1] for (i, j) in pairs)``, in order.
+
+    Parameters
+    ----------
+    a_terms, b_terms:
+        C-contiguous stacked split terms, ``(n_terms, ..., m, k)`` and
+        ``(n_terms, ..., k, n)`` (the trailing two axes are the matrix;
+        any leading batch axes broadcast through ``np.matmul``).
+    pairs:
+        1-based component pairs in most-significant-first order
+        (:func:`repro.blas.split.component_pairs`).
+
+    Returns a freshly allocated array (never a workspace buffer).
+    """
+    out_shape = np.broadcast_shapes(a_terms.shape[1:-2], b_terms.shape[1:-2]) + (
+        a_terms.shape[-2],
+        b_terms.shape[-1],
+    )
+    n_pairs = len(pairs)
+    if n_pairs == 1:
+        i, j = pairs[0]
+        return np.matmul(a_terms[i - 1], b_terms[j - 1])
+    ws = get_workspace()
+    dtype = np.result_type(a_terms.dtype, b_terms.dtype)
+
+    if _should_batch(a_terms, b_terms, n_pairs, out_shape):
+        idx_a = np.array([i - 1 for i, _ in pairs])
+        idx_b = np.array([j - 1 for _, j in pairs])
+        a_stack = ws.get("a_stack", (n_pairs,) + a_terms.shape[1:], a_terms.dtype)
+        b_stack = ws.get("b_stack", (n_pairs,) + b_terms.shape[1:], b_terms.dtype)
+        np.take(a_terms, idx_a, axis=0, out=a_stack)
+        np.take(b_terms, idx_b, axis=0, out=b_stack)
+        prods = ws.get("prods", (n_pairs,) + out_shape, dtype)
+        np.matmul(a_stack, b_stack, out=prods)
+        out = prods[0].copy()
+        for p in range(1, n_pairs):
+            np.add(out, prods[p], out=out)
+        return out
+
+    i0, j0 = pairs[0]
+    out = np.matmul(a_terms[i0 - 1], b_terms[j0 - 1])
+    prod = ws.get("prod", out_shape, dtype)
+    for i, j in pairs[1:]:
+        np.matmul(a_terms[i - 1], b_terms[j - 1], out=prod)
+        np.add(out, prod, out=out)
+    return out
+
+
+def split_gemm_fused(
+    a_handle,
+    b_handle,
+    precision: Precision,
+    n_terms: int,
+    *,
+    part_a: Optional[str] = None,
+    part_b: Optional[str] = None,
+) -> np.ndarray:
+    """Split-precision real GEMM over prepared operand handles.
+
+    ``part_a``/``part_b`` select the real/imag component of a complex
+    operand (``'re'``/``'im'``); ``None`` means the operand itself is
+    real.  Split stacks come from the handles' plans, so a frozen
+    operand's rounding/splitting work is paid once per SCF block
+    instead of once per call.
+    """
+    from repro.blas.split import component_pairs
+
+    keep = MANTISSA_BITS[precision]
+    a_terms = a_handle.split_stack(keep, n_terms, part=part_a)
+    b_terms = b_handle.split_stack(keep, n_terms, part=part_b)
+    if a_terms.shape[-1] != b_terms.shape[-2]:
+        raise ValueError(
+            f"inner dimensions differ: {a_terms.shape[1:]} @ {b_terms.shape[1:]}"
+        )
+    return fused_pair_products(a_terms, b_terms, component_pairs(n_terms))

@@ -19,14 +19,49 @@ Two evaluation paths are provided:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Sequence, Tuple
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.blas.modes import ComputeMode
 from repro.core.theoretical import peak_theoretical_speedup
 from repro.gpu.gemm_model import GemmModel
 from repro.gpu.specs import DeviceSpec, MAX_1550_STACK
 
-__all__ = ["SweepPoint", "BlasSweep", "FIG3B_NORBS", "remap_gemm_shape", "SWEEP_MODES"]
+__all__ = [
+    "SweepPoint",
+    "BlasSweep",
+    "FIG3B_NORBS",
+    "remap_gemm_shape",
+    "SWEEP_MODES",
+    "parallel_mode_sweep",
+]
+
+_T = TypeVar("_T")
+
+
+def parallel_mode_sweep(
+    worker: Callable[[ComputeMode], _T],
+    modes: Optional[Iterable[ComputeMode]] = None,
+    max_workers: Optional[int] = None,
+) -> List[_T]:
+    """Evaluate ``worker(mode)`` for every mode concurrently.
+
+    The compute modes are independent of each other — each run reads
+    its own inputs and the mode is passed *explicitly* (never via the
+    thread-local ambient mode), so fanning them out over a thread pool
+    is safe; NumPy's BLAS releases the GIL inside the matmuls.  Results
+    come back in mode order, exactly like the serial loop.
+    """
+    modes = list(SWEEP_MODES if modes is None else modes)
+    if not modes:
+        return []
+    workers = max_workers or min(len(modes), os.cpu_count() or 1)
+    if workers <= 1 or len(modes) == 1:
+        return [worker(m) for m in modes]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(worker, m) for m in modes]
+        return [f.result() for f in futures]
 
 #: Orbital counts of Fig. 3b / Table VII.
 FIG3B_NORBS = (256, 1024, 2048, 4096)
@@ -85,13 +120,21 @@ class BlasSweep:
         self,
         norbs: Sequence[int] = FIG3B_NORBS,
         modes: Iterable[ComputeMode] = SWEEP_MODES,
+        max_workers: Optional[int] = None,
     ) -> List[SweepPoint]:
-        """All Fig. 3b points on the device model."""
-        points: List[SweepPoint] = []
-        for n_orb in norbs:
-            m, n, k = remap_gemm_shape(n_orb)
-            fp32 = self.model.seconds(self.routine, m, n, k, ComputeMode.STANDARD)
-            for mode in modes:
+        """All Fig. 3b points on the device model.
+
+        ``max_workers > 1`` fans the (independent) modes out over a
+        thread pool via :func:`parallel_mode_sweep`; the returned point
+        order is identical to the serial evaluation.
+        """
+        modes = list(modes)
+
+        def eval_mode(mode: ComputeMode) -> List[SweepPoint]:
+            points: List[SweepPoint] = []
+            for n_orb in norbs:
+                m, n, k = remap_gemm_shape(n_orb)
+                fp32 = self.model.seconds(self.routine, m, n, k, ComputeMode.STANDARD)
                 alt = self.model.seconds(self.routine, m, n, k, mode)
                 points.append(
                     SweepPoint(
@@ -99,7 +142,18 @@ class BlasSweep:
                         fp32_seconds=fp32, mode_seconds=alt,
                     )
                 )
-        return points
+            return points
+
+        # Serial unless explicitly asked (None -> 1): keeps the default
+        # behaviour identical to the historical loop.
+        per_mode = parallel_mode_sweep(eval_mode, modes, max_workers=max_workers or 1)
+        # Reassemble in the serial loop's (n_orb-major) order.
+        by_mode = dict(zip(modes, per_mode))
+        return [
+            by_mode[mode][i]
+            for i in range(len(list(norbs)))
+            for mode in modes
+        ]
 
     def table6(
         self,
@@ -131,6 +185,7 @@ class BlasSweep:
         shrink: int = 512,
         repeats: int = 3,
         seed: int = 0,
+        max_workers: Optional[int] = None,
     ) -> List[SweepPoint]:
         """Fig. 3b evaluated by *actually timing the software emulation*
         on shrunken shapes (``k`` divided by ``shrink``).
@@ -140,6 +195,12 @@ class BlasSweep:
         saving silicon, so mode "speedups" come out *below* one in
         proportion to their product counts — which is itself a useful
         check that the emulation does the work it claims.
+
+        ``max_workers > 1`` times the modes concurrently (they are
+        independent; each call passes its mode explicitly).  Use it for
+        throughput when scanning many shapes — for publication-grade
+        wall-clock numbers keep the default serial path, where timings
+        cannot contend for cores.
         """
         import time
 
@@ -147,6 +208,7 @@ class BlasSweep:
 
         from repro.blas.gemm import gemm
 
+        modes = list(modes)
         rng = np.random.default_rng(seed)
         points: List[SweepPoint] = []
         for n_orb in norbs:
@@ -164,11 +226,14 @@ class BlasSweep:
                 return best
 
             fp32 = best_time(ComputeMode.STANDARD)
-            for mode in modes:
+            mode_seconds = parallel_mode_sweep(
+                best_time, modes, max_workers=max_workers or 1
+            )
+            for mode, secs in zip(modes, mode_seconds):
                 points.append(
                     SweepPoint(
                         n_orb=n_orb, mode=mode, m=m, n=n, k=k,
-                        fp32_seconds=fp32, mode_seconds=best_time(mode),
+                        fp32_seconds=fp32, mode_seconds=secs,
                     )
                 )
         return points

@@ -62,6 +62,23 @@ class LFDPropagator:
         # Field-free kinetic phase; the A-dependent factor is per-step.
         self.k_phase0 = np.exp(-0.5j * self.dt * mesh.k2).astype(self.storage_dtype)
 
+    def invalidate_plans(self) -> None:
+        """Drop the nonlocal propagator's cached operand plans.
+
+        Call when the reference orbitals are mutated in place without
+        rebuilding the :class:`NonlocalPropagator`.
+        """
+        self.nlp.invalidate_plans()
+
+    def refresh_plans(self) -> bool:
+        """Content-revalidate the frozen-operand plans (SCF refresh).
+
+        Delegates to :meth:`NonlocalPropagator.refresh_plans`; the MD
+        driver calls this at every SCF block boundary so a plan can
+        never outlive the bytes it was derived from.
+        """
+        return self.nlp.refresh_plans()
+
     def kinetic_phase(self, t: float, a_extra: Optional[np.ndarray] = None) -> np.ndarray:
         """Full kinetic phase ``exp(-i (k+A(t))^2 dt / 2)`` at time ``t``.
 

@@ -423,6 +423,13 @@ class Simulation:
                     ledger.record("psi_d2h", "d2h", psi.nbytes, step)
                     if self.device is not None:
                         self.device.record_copy("psi_d2h", psi.nbytes, site="shadow")
+                    # SCF refresh invalidation point: psi0 stays frozen
+                    # across blocks by construction, but the split-plan
+                    # cache must never trust that silently — re-validate
+                    # the prepared operands' content so any in-place
+                    # mutation (extensions, future psi0 re-anchoring)
+                    # drops the stale splits before the next block.
+                    prop.refresh_plans()
                     if remaining > 0:
                         work = OrbitalSet(
                             psi.astype(np.complex128), occupations.copy(), mesh
@@ -468,6 +475,13 @@ class Simulation:
                                     ),
                                 ),
                             )
+
+        # Drop the run's prepared-operand registry entry: the next run
+        # starts from a fresh psi0 copy, so the cached splits (several
+        # times psi0's footprint) must not outlive the trajectory.
+        from repro.blas.plan import release
+
+        release(psi0)
 
         return SimulationResult(
             config=cfg,

@@ -35,6 +35,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true",
         help="run the larger (slower) variant of simulation-backed experiments",
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="run up to N experiments concurrently (they are independent; "
+        "each passes its compute mode explicitly, so the fan-out is safe)",
+    )
     return parser
 
 
@@ -55,6 +60,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"valid ids: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
+    if args.jobs > 1 and len(names) > 1:
+        # Independent artifacts fan out over a thread pool (NumPy
+        # releases the GIL in the GEMMs); outputs are printed in the
+        # deterministic serial order regardless of completion order.
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(args.jobs, len(names))) as pool:
+            futures = [
+                pool.submit(
+                    run_experiment, name, fast=not args.full, output_dir=args.output
+                )
+                for name in names
+            ]
+            for future in futures:
+                print(future.result()["text"])
+                print()
+        return 0
     for name in names:
         result = run_experiment(name, fast=not args.full, output_dir=args.output)
         print(result["text"])

@@ -12,8 +12,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.blas.gemm import check_finite
 from repro.blas.modes import ComputeMode
 from repro.dcmesh.simulation import Simulation, SimulationConfig
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _finite_checks_on():
+    """The per-call Inf/NaN input scans are opt-in (off on the hot
+    path); the test suite runs with them enabled so numerical escapes
+    fail loudly."""
+    check_finite(True)
+    yield
+    check_finite(False)
 
 
 @pytest.fixture(scope="session")

@@ -105,6 +105,42 @@ class TestRoundMantissa:
         assert out.dtype == np.float32
 
 
+class TestMantissaOverflowBitPatterns:
+    """Regression: the uint32-normalized RNE arithmetic must carry a
+    mantissa-all-ones pattern into the exponent (IEEE round-up), with
+    no NumPy casting/overflow warnings under NEP 50."""
+
+    def _round_bits(self, pattern: int, keep_bits: int) -> int:
+        import warnings
+
+        x = np.array([pattern], dtype=np.uint32).view(np.float32)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = round_mantissa(x, keep_bits)
+        return int(out.view(np.uint32)[0])
+
+    def test_all_ones_mantissa_carries_into_exponent(self):
+        # 0x3FFFFFFF = 2 - 2^-23 (mantissa all ones, just below 2.0);
+        # BF16 RNE rounds up across the binade boundary to exactly 2.0.
+        assert self._round_bits(0x3FFFFFFF, 7) == 0x40000000
+        assert self._round_bits(0x3FFFFFFF, 10) == 0x40000000
+
+    def test_negative_mirror(self):
+        assert self._round_bits(0xBFFFFFFF, 7) == 0xC0000000
+
+    def test_flt_max_rounds_to_infinity(self):
+        # FLT_MAX (0x7F7FFFFF) is above the largest BF16 value; the
+        # carry propagates through the whole exponent field, yielding
+        # +Inf (0x7F800000) — IEEE RNE overflow, not a wrapped uint32.
+        assert self._round_bits(0x7F7FFFFF, 7) == 0x7F800000
+        assert self._round_bits(0xFF7FFFFF, 7) == 0xFF800000
+
+    def test_largest_denormal_boundary(self):
+        # 0x007FFFFF = largest FP32 denormal; rounding up lands exactly
+        # on the smallest normal (0x00800000) via the same carry.
+        assert self._round_bits(0x007FFFFF, 7) == 0x00800000
+
+
 class TestRoundToPrecision:
     def test_fp32_passthrough(self):
         x = np.array([1 / 3], dtype=np.float32)
