@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-split repro report claims examples clean
+.PHONY: install test test-fast lint ci bench bench-split repro report claims examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,19 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# Same gate as the CI lint job (config in ruff.toml).  Skips with a
+# notice when ruff is not installed locally.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check . && ruff format --check . ; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
+
+# Everything the CI workflow gates on, runnable locally in one shot.
+ci: lint test-fast
+	$(PYTHON) examples/quickstart.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -13,6 +13,17 @@ import pytest
 from repro.dcmesh.simulation import Simulation, SimulationConfig
 
 
+def pytest_collection_modifyitems(items):
+    """Tag everything under benchmarks/ with the ``benchmark`` marker.
+
+    The suite was previously selectable only by path; the marker makes
+    ``pytest -m "not benchmark"`` / ``-m benchmark`` work no matter how
+    the session was rooted.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)
+
+
 @pytest.fixture(scope="session")
 def bench_sim() -> Simulation:
     """A small simulation with a converged ground state, shared by the

@@ -66,7 +66,6 @@ def test_qd_step_wall_time(benchmark, bench_sim):
     """One full LFD QD step of the scaled system (software)."""
     import numpy as np
 
-    from repro.dcmesh.laser import LaserPulse
     from repro.dcmesh.nlp import NonlocalPropagator
     from repro.dcmesh.propagate import LFDPropagator
 

@@ -6,7 +6,6 @@ most, the BF16 family forms an accuracy ladder, 3M sits at the FP32
 noise floor, and javg deviations are negligible next to ekin's.
 """
 
-import pytest
 
 from repro.blas.modes import ComputeMode
 from repro.core.study import PrecisionStudy

@@ -4,7 +4,6 @@ Times the GEMM-dominated projection loop and asserts the study's
 transferred conclusions (accuracy ladder + exactness of the target).
 """
 
-import pytest
 
 from repro.blas.modes import ComputeMode
 from repro.qmc import ProjectionQMC, qmc_mode_study, tight_binding_hamiltonian

@@ -16,7 +16,6 @@ Run:  python examples/operations_workflow.py [workdir]
 import sys
 from pathlib import Path
 
-import numpy as np
 
 from repro.dcmesh import DiagnosticsCollector, Simulation, SimulationConfig
 from repro.dcmesh.io import load_checkpoint

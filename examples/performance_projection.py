@@ -8,7 +8,6 @@ alternative compute modes start paying off, and by how much?
 Run:  python examples/performance_projection.py
 """
 
-import numpy as np
 
 from repro.blas.modes import ComputeMode
 from repro.core.blas_sweep import BlasSweep

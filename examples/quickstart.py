@@ -13,7 +13,6 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import blas
 from repro.blas.verbose import format_verbose_line, mkl_verbose
 from repro.dcmesh import Simulation, SimulationConfig
 

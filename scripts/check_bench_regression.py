@@ -7,16 +7,28 @@ any mode's prepared-vs-cold speedup dropped below its floor in
 ``benchmarks/splitgemm_floors.json``, or if any mode's prepared output
 was not bitwise identical to the cold path.
 
+Shared CI runners are noisy, so two escape hatches exist:
+
+* ``--slack``/``BENCH_SLACK`` — a relative tolerance on the speedup
+  floors (``--slack 0.15`` accepts speedups down to 85% of each
+  floor).  Bitwise-identity failures are never tolerated.
+* ``--report-only``/``BENCH_REPORT_ONLY`` — print every violation (as
+  GitHub annotations when running in Actions) but exit 0, so a bench
+  job can annotate a PR without blocking it.
+
 Usage::
 
     python scripts/check_bench_regression.py [results.json] [floors.json]
+        [--slack FRACTION] [--report-only]
 
 Run via ``make bench-split``, which regenerates the results first.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -25,7 +37,24 @@ DEFAULT_RESULTS = REPO_ROOT / "BENCH_splitgemm.json"
 DEFAULT_FLOORS = REPO_ROOT / "benchmarks" / "splitgemm_floors.json"
 
 
-def check(results_path: Path, floors_path: Path) -> int:
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def _warn(message: str) -> None:
+    """Emit a non-fatal violation (GitHub annotation under Actions)."""
+    if _env_flag("GITHUB_ACTIONS"):
+        print(f"::warning title=bench regression::{message}")
+    else:
+        print(f"warning: {message}", file=sys.stderr)
+
+
+def check(
+    results_path: Path,
+    floors_path: Path,
+    slack: float = 0.0,
+    report_only: bool = False,
+) -> int:
     try:
         results = json.loads(results_path.read_text())
     except FileNotFoundError:
@@ -36,6 +65,9 @@ def check(results_path: Path, floors_path: Path) -> int:
         )
         return 1
     floors = json.loads(floors_path.read_text())["floors"]
+    if not 0.0 <= slack < 1.0:
+        print(f"error: --slack must be in [0, 1), got {slack}", file=sys.stderr)
+        return 2
 
     rows = {row["mode"]: row for row in results["results"]}
     failures = []
@@ -44,22 +76,35 @@ def check(results_path: Path, floors_path: Path) -> int:
         if row is None:
             failures.append(f"{mode}: missing from {results_path.name}")
             continue
+        effective_floor = floor * (1.0 - slack)
         status = "ok"
         if not row["bitwise_identical"]:
+            # Correctness, not noise: slack never applies here.
             failures.append(f"{mode}: prepared output NOT bitwise identical")
             status = "BITWISE MISMATCH"
-        if row["speedup"] < floor:
+        if row["speedup"] < effective_floor:
             failures.append(
-                f"{mode}: speedup {row['speedup']:.2f}x below floor {floor:.2f}x"
+                f"{mode}: speedup {row['speedup']:.2f}x below floor "
+                f"{floor:.2f}x (effective {effective_floor:.2f}x with "
+                f"slack {slack:.0%})"
             )
             status = "BELOW FLOOR"
         print(
-            f"{mode:<18} speedup {row['speedup']:6.2f}x  (floor {floor:.2f}x)  "
+            f"{mode:<18} speedup {row['speedup']:6.2f}x  (floor {floor:.2f}x, "
+            f"slack {slack:.0%})  "
             f"cold {row['cold_seconds'] * 1e3:7.2f} ms  "
             f"prepared {row['prepared_seconds'] * 1e3:7.2f} ms  [{status}]"
         )
 
     if failures:
+        if report_only:
+            for f in failures:
+                _warn(f)
+            print(
+                "\nsplit-GEMM fast-path regression check: "
+                f"{len(failures)} violation(s) reported (report-only mode, not failing)."
+            )
+            return 0
         print("\nsplit-GEMM fast-path regression check FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
@@ -68,11 +113,38 @@ def check(results_path: Path, floors_path: Path) -> int:
     return 0
 
 
-def main(argv) -> int:
-    results = Path(argv[1]) if len(argv) > 1 else DEFAULT_RESULTS
-    floors = Path(argv[2]) if len(argv) > 2 else DEFAULT_FLOORS
-    return check(results, floors)
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Check split-GEMM benchmark results against stored floors."
+    )
+    parser.add_argument(
+        "results", nargs="?", type=Path, default=DEFAULT_RESULTS,
+        help=f"benchmark results JSON (default: {DEFAULT_RESULTS.name})",
+    )
+    parser.add_argument(
+        "floors", nargs="?", type=Path, default=DEFAULT_FLOORS,
+        help="speedup floors JSON (default: benchmarks/splitgemm_floors.json)",
+    )
+    parser.add_argument(
+        "--slack", type=float,
+        default=float(os.environ.get("BENCH_SLACK", "0") or 0),
+        metavar="FRACTION",
+        help="relative tolerance on speedup floors, 0..1 "
+        "(default: $BENCH_SLACK or 0); bitwise checks get no slack",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        default=_env_flag("BENCH_REPORT_ONLY"),
+        help="print violations (GitHub annotations under Actions) but exit 0 "
+        "(default: $BENCH_REPORT_ONLY)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return check(args.results, args.floors, slack=args.slack, report_only=args.report_only)
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main())

@@ -12,7 +12,7 @@ single MKL_VERBOSE record carrying the batch count.
 from __future__ import annotations
 
 import time
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.blas.gemm import (
 )
 from repro.blas.modes import ComputeMode, resolve_mode
 from repro.blas.plan import PreparedOperand, operand_handle
-from repro.blas.verbose import VerboseRecord, record_call, verbose_enabled
+from repro.blas.verbose import VerboseRecord, emit_call, observing
 
 __all__ = ["gemm_batch"]
 
@@ -96,8 +96,8 @@ def gemm_batch(
             routine=routine, m=m, n=n, k=k, batch=batch,
             mode=effective, site=_current_site(),
         )
-    if verbose_enabled():
-        record_call(
+    if observing():
+        emit_call(
             VerboseRecord(
                 routine=routine,
                 trans_a=trans_a,

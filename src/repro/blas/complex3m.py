@@ -30,7 +30,16 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.telemetry.registry import active as _telemetry_active
+
 __all__ = ["gemm_4m", "gemm_3m", "gemm_4m_split_planned", "gemm_3m_planned"]
+
+
+def _count_kernel(variant: str) -> None:
+    """Per-variant complex-kernel counter (no-op while telemetry is off)."""
+    t = _telemetry_active()
+    if t is not None:
+        t.count("blas.complex_kernels", variant=variant)
 
 RealGemm = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
@@ -64,6 +73,7 @@ def gemm_4m(
 ) -> np.ndarray:
     """Standard 4-multiplication complex GEMM built on real GEMMs."""
     _check(a, b)
+    _count_kernel("4m")
     rg = real_gemm or _default_real_gemm
     cdt = np.result_type(a.dtype, b.dtype, np.complex64)
     rdt = np.float64 if cdt == np.complex128 else np.float32
@@ -84,6 +94,7 @@ def gemm_3m(
 ) -> np.ndarray:
     """3-multiplication (``COMPLEX_3M``) complex GEMM."""
     _check(a, b)
+    _count_kernel("3m")
     rg = real_gemm or _default_real_gemm
     cdt = np.result_type(a.dtype, b.dtype, np.complex64)
     rdt = np.float64 if cdt == np.complex128 else np.float32
@@ -120,6 +131,7 @@ def gemm_4m_split_planned(a_handle, b_handle, precision, n_terms) -> np.ndarray:
     """
     from repro.blas.workspace import split_gemm_fused
 
+    _count_kernel("4m_split_planned")
     cdt = np.dtype(a_handle.dtype)
     cr = split_gemm_fused(
         a_handle, b_handle, precision, n_terms, part_a="re", part_b="re"
@@ -144,6 +156,7 @@ def gemm_3m_planned(a_handle, b_handle) -> np.ndarray:
     alongside the parts, so a frozen operand contributes zero per-call
     packing work.
     """
+    _count_kernel("3m_planned")
     cdt = np.dtype(a_handle.dtype)
     t1 = np.matmul(a_handle.part("re"), b_handle.part("re"))
     t2 = np.matmul(a_handle.part("im"), b_handle.part("im"))

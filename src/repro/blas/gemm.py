@@ -31,7 +31,7 @@ from repro.blas.complex3m import gemm_3m_planned, gemm_4m_split_planned
 from repro.blas.modes import ComputeMode, resolve_mode
 from repro.blas.plan import OrientedOperand, PreparedOperand, operand_handle
 from repro.blas.rounding import round_to_precision
-from repro.blas.verbose import VerboseRecord, record_call, verbose_enabled
+from repro.blas.verbose import VerboseRecord, emit_call, observing
 from repro.blas.workspace import split_gemm_fused
 
 __all__ = [
@@ -315,8 +315,8 @@ def gemm(
         model_seconds = device.record_gemm(
             routine=routine, m=m, n=n, k=k, mode=effective, site=_current_site()
         )
-    if verbose_enabled():
-        record_call(
+    if observing():
+        emit_call(
             VerboseRecord(
                 routine=routine,
                 trans_a=trans_a,

@@ -44,6 +44,7 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 import numpy as np
 
 from repro.blas.rounding import split_terms
+from repro.telemetry.registry import active as _telemetry_active
 
 __all__ = [
     "PreparedOperand",
@@ -76,6 +77,10 @@ def _fingerprint_array(x: np.ndarray) -> bytes:
     blake2b at 16 bytes: fast (single read-only pass) and wide enough
     that an accidental collision is never the explanation for anything.
     """
+    t = _telemetry_active()
+    if t is not None:
+        t.count("blas.plan.fingerprints")
+        t.count("blas.plan.fingerprint_bytes", x.nbytes)
     h = hashlib.blake2b(digest_size=16)
     h.update(str((x.shape, x.dtype.str)).encode())
     h.update(np.ascontiguousarray(x).view(np.uint8).reshape(-1).data)
@@ -116,6 +121,9 @@ class PreparedOperand:
 
     def invalidate(self) -> None:
         """Drop all cached derived forms (call after mutating the array)."""
+        t = _telemetry_active()
+        if t is not None:
+            t.count("blas.plan.invalidations")
         with self._lock:
             self._derived.clear()
             self._fingerprint = None
@@ -143,12 +151,12 @@ class PreparedOperand:
         """
         old = self._fingerprint
         new = _fingerprint_array(self.array)
-        if old is None:
-            self.invalidate()
-            with self._lock:
-                self._fingerprint = new
-            return True
-        if new != old:
+        t = _telemetry_active()
+        if t is not None:
+            t.count("blas.plan.refreshes")
+        if old is None or new != old:
+            if t is not None:
+                t.count("blas.plan.refresh_invalidations")
             self.invalidate()
             with self._lock:
                 self._fingerprint = new
@@ -159,10 +167,15 @@ class PreparedOperand:
 
     def _derive(self, key: tuple, builder):
         got = self._derived.get(key)
+        t = _telemetry_active()
         if got is None:
+            if t is not None:
+                t.count("blas.plan.derive", result="build", kind=key[0])
             got = builder()
             with self._lock:
                 got = self._derived.setdefault(key, got)
+        elif t is not None:
+            t.count("blas.plan.derive", result="hit", kind=key[0])
         return got
 
     def oriented(self, trans: str, dtype: np.dtype) -> np.ndarray:
@@ -284,15 +297,22 @@ def prepare(array: Union[np.ndarray, PreparedOperand]) -> PreparedOperand:
         return array
     array = np.asarray(array)
     key = id(array)
+    t = _telemetry_active()
     with _registry_lock:
         plan = _registry.get(key)
         if plan is not None and plan.array is array:
             _registry.move_to_end(key)
+            if t is not None:
+                t.count("blas.plan.prepare", result="hit")
             return plan
         plan = PreparedOperand(array)
         _registry[key] = plan
+        if t is not None:
+            t.count("blas.plan.prepare", result="miss")
         while len(_registry) > _REGISTRY_SIZE:
             _registry.popitem(last=False)
+            if t is not None:
+                t.count("blas.plan.registry_evictions")
         return plan
 
 
@@ -322,18 +342,25 @@ def lookup_anonymous(array: np.ndarray) -> Optional[PreparedOperand]:
     if not _anon_enabled or array.nbytes < ANON_MIN_BYTES:
         return None
     fp = _fingerprint_array(array)
+    t = _telemetry_active()
     with _anon_lock:
         plan = _anon.get(fp)
         if plan is not None:
             _anon.move_to_end(fp)
             _anon_stats["hits"] += 1
+            if t is not None:
+                t.count("blas.plan.anon", result="hit")
             return plan
         _anon_stats["misses"] += 1
+        if t is not None:
+            t.count("blas.plan.anon", result="miss")
         plan = PreparedOperand(array)
         plan._fingerprint = fp
         _anon[fp] = plan
         while len(_anon) > ANON_CACHE_SIZE:
             _anon.popitem(last=False)
+            if t is not None:
+                t.count("blas.plan.anon_evictions")
     return plan
 
 

@@ -13,6 +13,14 @@ itself, only meaningful for relative software cost) and
 ``model_seconds`` (the Intel Max 1550 device-model prediction, the
 number the reproduction actually reports — see
 :mod:`repro.gpu.gemm_model`).
+
+Since the telemetry subsystem landed, this log is one *consumer* of a
+unified per-call event stream: the GEMM entry points emit each
+:class:`VerboseRecord` once through :func:`emit_call`, which feeds the
+thread-local verbose log (when ``MKL_VERBOSE`` is on) and the installed
+:class:`repro.telemetry.Telemetry` collector (when telemetry is on).
+The MKL-look-alike line format and its parser
+(:func:`repro.profiling.mklverbose.parse_verbose_line`) are unchanged.
 """
 
 from __future__ import annotations
@@ -24,14 +32,17 @@ import threading
 from typing import Iterator, List, Optional
 
 from repro.blas.modes import ComputeMode
+from repro.telemetry.registry import active as _telemetry_active
 
 __all__ = [
     "VerboseRecord",
     "mkl_verbose",
     "verbose_enabled",
+    "observing",
     "get_verbose_log",
     "clear_verbose_log",
     "record_call",
+    "emit_call",
     "format_verbose_line",
 ]
 
@@ -94,10 +105,34 @@ def clear_verbose_log() -> None:
     _log().clear()
 
 
-def record_call(record: VerboseRecord) -> None:
-    """Append a record if verbosity is enabled (no-op otherwise)."""
+def observing() -> bool:
+    """Whether any consumer (verbose log, telemetry) wants call records.
+
+    The GEMM entry points use this as the single guard around building
+    a :class:`VerboseRecord`; with both consumers off the per-call cost
+    is two cheap checks and no allocation.
+    """
+    return _telemetry_active() is not None or verbose_enabled()
+
+
+def emit_call(record: VerboseRecord) -> None:
+    """Publish one BLAS call record to every active consumer.
+
+    This is the unified per-call event stream: the thread-local verbose
+    log (MKL_VERBOSE look-alike) and the telemetry registry both
+    receive the *same* record object, so the two views can never
+    disagree about what ran.
+    """
     if verbose_enabled():
         _log().append(record)
+    collector = _telemetry_active()
+    if collector is not None:
+        collector.blas_call(record)
+
+
+def record_call(record: VerboseRecord) -> None:
+    """Historical alias for :func:`emit_call`."""
+    emit_call(record)
 
 
 @contextlib.contextmanager

@@ -34,6 +34,7 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.telemetry.registry import active as _telemetry_active
 from repro.types import MANTISSA_BITS, Precision
 
 __all__ = [
@@ -69,9 +70,15 @@ class Workspace:
     def get(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
         key = (tag, tuple(shape), np.dtype(dtype).str)
         buf = self._buffers.get(key)
+        t = _telemetry_active()
         if buf is None:
             buf = np.empty(shape, dtype=dtype)
             self._buffers[key] = buf
+            if t is not None:
+                t.count("blas.workspace.allocations", tag=tag)
+                t.count("blas.workspace.allocated_bytes", buf.nbytes, tag=tag)
+        elif t is not None:
+            t.count("blas.workspace.reuses", tag=tag)
         return buf
 
     def clear(self) -> None:
@@ -207,6 +214,9 @@ def split_gemm_fused(
     """
     from repro.blas.split import component_pairs
 
+    t = _telemetry_active()
+    if t is not None:
+        t.count("blas.split_gemm_fused", precision=precision.name, n_terms=n_terms)
     keep = MANTISSA_BITS[precision]
     a_terms = a_handle.split_stack(keep, n_terms, part=part_a)
     b_terms = b_handle.split_stack(keep, n_terms, part=part_b)

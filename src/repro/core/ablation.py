@@ -30,7 +30,7 @@ from repro.blas.modes import ComputeMode
 from repro.blas.rounding import round_fp32_to_bf16
 from repro.dcmesh.simulation import Simulation, SimulationConfig
 from repro.gpu.gemm_model import GemmModel
-from repro.gpu.specs import DeviceSpec, EngineKind, MAX_1550_STACK
+from repro.gpu.specs import MAX_1550_STACK
 from repro.types import Precision
 
 __all__ = [

@@ -27,6 +27,7 @@ from repro.blas.modes import ComputeMode
 from repro.core.theoretical import peak_theoretical_speedup
 from repro.gpu.gemm_model import GemmModel
 from repro.gpu.specs import DeviceSpec, MAX_1550_STACK
+from repro.telemetry.registry import active as _telemetry_active
 
 __all__ = [
     "SweepPoint",
@@ -56,11 +57,23 @@ def parallel_mode_sweep(
     modes = list(SWEEP_MODES if modes is None else modes)
     if not modes:
         return []
+
+    def run_one(mode: ComputeMode) -> _T:
+        # Per-mode span so a sweep's phase structure shows up in the
+        # exported traces; a plain passthrough while telemetry is off.
+        t = _telemetry_active()
+        if t is None:
+            return worker(mode)
+        with t.span(
+            "mode_sweep", cat="sweep", mode=getattr(mode, "env_value", str(mode))
+        ):
+            return worker(mode)
+
     workers = max_workers or min(len(modes), os.cpu_count() or 1)
     if workers <= 1 or len(modes) == 1:
-        return [worker(m) for m in modes]
+        return [run_one(m) for m in modes]
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(worker, m) for m in modes]
+        futures = [pool.submit(run_one, m) for m in modes]
         return [f.result() for f in futures]
 
 #: Orbital counts of Fig. 3b / Table VII.
@@ -136,6 +149,12 @@ class BlasSweep:
                 m, n, k = remap_gemm_shape(n_orb)
                 fp32 = self.model.seconds(self.routine, m, n, k, ComputeMode.STANDARD)
                 alt = self.model.seconds(self.routine, m, n, k, mode)
+                t = _telemetry_active()
+                if t is not None:
+                    # Device-model evaluations are not emulation calls;
+                    # they get their own counter series.
+                    t.count("blas.model_calls", 2, routine=self.routine,
+                            mode=mode.env_value)
                 points.append(
                     SweepPoint(
                         n_orb=n_orb, mode=mode, m=m, n=n, k=k,

@@ -11,7 +11,6 @@ bound and the size-independence claim.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

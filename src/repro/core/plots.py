@@ -8,7 +8,7 @@ The CSV outputs remain the canonical data for real figures.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -26,7 +26,6 @@ ambient ``MKL_BLAS_COMPUTE_MODE``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 import scipy.linalg

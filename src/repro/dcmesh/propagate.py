@@ -29,6 +29,7 @@ import numpy as np
 from repro.dcmesh.laser import LaserPulse
 from repro.dcmesh.mesh import Mesh
 from repro.dcmesh.nlp import NonlocalPropagator
+from repro.telemetry.registry import active as _telemetry_active
 
 __all__ = ["LFDPropagator"]
 
@@ -100,7 +101,25 @@ class LFDPropagator:
         t: float,
         a_extra: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Advance ``psi`` from ``t`` to ``t + dt``; returns the new state."""
+        """Advance ``psi`` from ``t`` to ``t + dt``; returns the new state.
+
+        With telemetry installed, the whole step is timed as one
+        ``qd_step`` span (the per-phase unit the paper's Fig. 3a
+        accounting is built from); otherwise the path is untouched.
+        """
+        tm = _telemetry_active()
+        if tm is None:
+            return self._step_impl(psi, t, a_extra)
+        tm.count("lfd.qd_steps")
+        with tm.span("qd_step", cat="lfd", t_au=t):
+            return self._step_impl(psi, t, a_extra)
+
+    def _step_impl(
+        self,
+        psi: np.ndarray,
+        t: float,
+        a_extra: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         psi = np.asarray(psi)
         if psi.dtype != self.storage_dtype:
             raise TypeError(

@@ -15,6 +15,7 @@ yields both the accuracy series (Figs. 1-2) and the timing data
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time
 from typing import Callable, List, Optional, Union
@@ -39,6 +40,7 @@ from repro.dcmesh.propagate import LFDPropagator
 from repro.dcmesh.scf import SCFParams, SCFResult, SCFSolver
 from repro.dcmesh.shadow import TransferLedger
 from repro.dcmesh.wavefunction import OrbitalSet
+from repro.telemetry.registry import active as _telemetry_active
 from repro.types import Precision, complex_dtype, real_dtype
 
 __all__ = ["SimulationConfig", "Simulation", "SimulationResult", "estimate_device_bytes"]
@@ -234,7 +236,14 @@ class Simulation:
         self.mesh = Mesh(cfg.mesh_shape, self.material.box)
         projectors = build_projectors(self.material, self.mesh)
         self._solver = SCFSolver(self.mesh, self.material, projectors, cfg.scf)
-        self._ground = self._solver.solve(cfg.n_orb, seed=cfg.seed)
+        tm = _telemetry_active()
+        scf_span = (
+            tm.span("ground_state_scf", cat="scf", n_orb=cfg.n_orb)
+            if tm is not None
+            else contextlib.nullcontext()
+        )
+        with scf_span:
+            self._ground = self._solver.solve(cfg.n_orb, seed=cfg.seed)
         return self._ground
 
     # ------------------------------------------------------------------
@@ -402,19 +411,26 @@ class Simulation:
                         if diagnostics is not None:
                             diagnostics.observe(0, psi, rec0.etot)
 
-                    for _ in range(block):
-                        t_au = step * cfg.dt
-                        a_ind = field.a * pol if field is not None else None
-                        psi = prop.step(psi, t_au, a_extra=a_ind)
-                        step += 1
-                        rec = observe(step * cfg.dt, psi, h_nl_sub)
-                        records.append(rec)
-                        if field is not None:
-                            field.step(rec.javg)
-                        if diagnostics is not None:
-                            diagnostics.observe(step, psi, rec.etot)
-                        if progress is not None:
-                            progress(step, rec)
+                    tm = _telemetry_active()
+                    block_span = (
+                        tm.span("scf_block", cat="scf", start_step=step, block=block)
+                        if tm is not None
+                        else contextlib.nullcontext()
+                    )
+                    with block_span:
+                        for _ in range(block):
+                            t_au = step * cfg.dt
+                            a_ind = field.a * pol if field is not None else None
+                            psi = prop.step(psi, t_au, a_extra=a_ind)
+                            step += 1
+                            rec = observe(step * cfg.dt, psi, h_nl_sub)
+                            records.append(rec)
+                            if field is not None:
+                                field.step(rec.javg)
+                            if diagnostics is not None:
+                                diagnostics.observe(step, psi, rec.etot)
+                            if progress is not None:
+                                progress(step, rec)
                     remaining -= block
 
                     # LFD -> QXMD: bring the state home for the FP64
@@ -431,18 +447,24 @@ class Simulation:
                     # drops the stale splits before the next block.
                     prop.refresh_plans()
                     if remaining > 0:
-                        work = OrbitalSet(
-                            psi.astype(np.complex128), occupations.copy(), mesh
+                        update_span = (
+                            tm.span("qxmd_update", cat="scf", step=step)
+                            if tm is not None
+                            else contextlib.nullcontext()
                         )
-                        if ions is not None:
-                            ions.step(work.density())
-                            solver.refresh_ionic()
-                            projectors = build_projectors(material, mesh)
-                            solver.projectors = projectors
-                        updated = solver.update(work)
-                        psi = updated.orbitals.psi.astype(cdt)
-                        v_eff = updated.v_eff
-                        density = updated.density
+                        with update_span:
+                            work = OrbitalSet(
+                                psi.astype(np.complex128), occupations.copy(), mesh
+                            )
+                            if ions is not None:
+                                ions.step(work.density())
+                                solver.refresh_ionic()
+                                projectors = build_projectors(material, mesh)
+                                solver.projectors = projectors
+                            updated = solver.update(work)
+                            psi = updated.orbitals.psi.astype(cdt)
+                            v_eff = updated.v_eff
+                            density = updated.density
                         if checkpoint_path is not None:
                             from repro.dcmesh.io.checkpoint import (
                                 Checkpoint,

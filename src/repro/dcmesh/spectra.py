@@ -18,7 +18,7 @@ lists, so they compose with run logs read back from disk.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

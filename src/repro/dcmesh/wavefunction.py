@@ -8,7 +8,6 @@ Columns are orbitals; normalisation is ``<psi_i|psi_j> dV = delta_ij``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional
 
-import numpy as np
 
 from repro.core.report import render_table, write_csv
 from repro.core.study import PrecisionStudy

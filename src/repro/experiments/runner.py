@@ -6,11 +6,13 @@ Usage::
     dcmesh-repro table6                  # run one experiment
     dcmesh-repro all --output results/   # run everything, save CSVs
     dcmesh-repro figure1 --full          # slower, larger accuracy run
+    dcmesh-repro table6 --telemetry out/ # + JSONL/Chrome traces, summary
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -40,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run up to N experiments concurrently (they are independent; "
         "each passes its compute mode explicitly, so the fan-out is safe)",
     )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="collect telemetry for the run and export a JSONL event "
+        "trace, a Chrome/Perfetto trace and a text summary into DIR",
+    )
     return parser
 
 
@@ -60,27 +67,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"valid ids: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
-    if args.jobs > 1 and len(names) > 1:
-        # Independent artifacts fan out over a thread pool (NumPy
-        # releases the GIL in the GEMMs); outputs are printed in the
-        # deterministic serial order regardless of completion order.
-        from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=min(args.jobs, len(names))) as pool:
-            futures = [
-                pool.submit(
-                    run_experiment, name, fast=not args.full, output_dir=args.output
-                )
-                for name in names
-            ]
-            for future in futures:
-                print(future.result()["text"])
+    if args.telemetry is not None:
+        # One collector spans every requested experiment; the traces
+        # and the summary table land in the directory on exit.  The
+        # collector is thread-safe, so --jobs fan-out is covered too.
+        from repro.telemetry import telemetry as telemetry_scope
+
+        scope = telemetry_scope(out_dir=args.telemetry)
+    else:
+        scope = contextlib.nullcontext()
+
+    with scope:
+        if args.jobs > 1 and len(names) > 1:
+            # Independent artifacts fan out over a thread pool (NumPy
+            # releases the GIL in the GEMMs); outputs are printed in the
+            # deterministic serial order regardless of completion order.
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=min(args.jobs, len(names))) as pool:
+                futures = [
+                    pool.submit(
+                        run_experiment, name, fast=not args.full, output_dir=args.output
+                    )
+                    for name in names
+                ]
+                for future in futures:
+                    print(future.result()["text"])
+                    print()
+        else:
+            for name in names:
+                result = run_experiment(name, fast=not args.full, output_dir=args.output)
+                print(result["text"])
                 print()
-        return 0
-    for name in names:
-        result = run_experiment(name, fast=not args.full, output_dir=args.output)
-        print(result["text"])
-        print()
+    if args.telemetry is not None:
+        print(f"telemetry exported to {args.telemetry}/ "
+              "(trace.jsonl, trace.chrome.json, summary.txt)")
     return 0
 
 

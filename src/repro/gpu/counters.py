@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.blas.verbose import VerboseRecord
 from repro.gpu.specs import DeviceSpec, MAX_1550_STACK

@@ -18,7 +18,6 @@ from repro.blas.modes import ComputeMode
 from repro.gpu.gemm_model import GemmCost, GemmModel
 from repro.gpu.specs import DeviceSpec, MAX_1550_STACK
 from repro.gpu.timeline import Timeline
-from repro.types import Precision
 
 __all__ = ["Device"]
 

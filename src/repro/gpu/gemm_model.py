@@ -27,7 +27,7 @@ by fiat:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.blas.modes import ComputeMode
 from repro.gpu.roofline import RooflinePoint, roofline_time

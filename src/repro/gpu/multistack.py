@@ -23,7 +23,7 @@ than FP32.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import List
 
 from repro.blas.modes import ComputeMode
 from repro.core.schedule import psi_bytes, qd_step_schedule

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 __all__ = ["KernelEvent", "Timeline"]
 

@@ -26,7 +26,7 @@ environment-variable study transfers verbatim.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

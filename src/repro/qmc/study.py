@@ -12,7 +12,7 @@ of the *modes*, not the code.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
 from repro.blas.modes import ComputeMode
 from repro.gpu.gemm_model import GemmModel

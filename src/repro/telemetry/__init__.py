@@ -1,0 +1,58 @@
+"""Telemetry subsystem: counters, span timers and trace exporters.
+
+One substrate unifies the reproduction's instrumentation (the
+MKL_VERBOSE-style per-call log, the split-plan cache statistics, the
+workspace reuse accounting, per-QD-step and per-SCF-block phase
+timings) behind a single on/off switch with a no-op disabled path.
+
+Quickstart::
+
+    from repro import telemetry
+
+    with telemetry.telemetry(out_dir="out/") as t:
+        sim.run(mode="FLOAT_TO_BF16")
+    # out/trace.jsonl, out/trace.chrome.json, out/summary.txt
+
+or, with no source changes, ``REPRO_TELEMETRY=1`` plus
+``dcmesh-repro table6 --telemetry out/``.  See docs/OBSERVABILITY.md.
+"""
+
+from repro.telemetry.registry import (
+    BUCKET_BOUNDS,
+    MAX_EVENTS,
+    TELEMETRY_ENV,
+    Histogram,
+    Telemetry,
+    active,
+    disable,
+    enable,
+    telemetry,
+    telemetry_enabled,
+)
+from repro.telemetry.exporters import (
+    export_all,
+    read_chrome_trace,
+    read_jsonl,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "MAX_EVENTS",
+    "TELEMETRY_ENV",
+    "Histogram",
+    "Telemetry",
+    "active",
+    "disable",
+    "enable",
+    "telemetry",
+    "telemetry_enabled",
+    "export_all",
+    "read_chrome_trace",
+    "read_jsonl",
+    "summary_table",
+    "write_chrome_trace",
+    "write_jsonl",
+]

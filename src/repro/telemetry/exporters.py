@@ -1,0 +1,223 @@
+"""Exporters for a :class:`repro.telemetry.Telemetry` collector.
+
+Three output forms, all derived from the same registry state:
+
+* **JSONL event trace** (:func:`write_jsonl` / :func:`read_jsonl`) —
+  one JSON object per line: a ``meta`` header, every buffered trace
+  event, then the final counter and histogram values.  Machine-first;
+  the reader reassembles exactly what the writer saw (round-trip
+  guaranteed by ``tests/unit/test_telemetry_export.py``).
+* **Chrome ``trace_event`` JSON** (:func:`write_chrome_trace`) — the
+  standard ``{"traceEvents": [...]}`` object with microsecond
+  timestamps, one lane per category, loadable in ``chrome://tracing``
+  or https://ui.perfetto.dev (same dialect as
+  :mod:`repro.gpu.tracefile` uses for the modelled device timeline).
+* **plain-text summary** (:func:`summary_table`) — counters and span
+  statistics as an aligned table for terminals and CI logs.
+
+:func:`export_all` writes all three into a directory; the experiment
+runner's ``--telemetry DIR`` flag and the :func:`repro.telemetry.telemetry`
+context manager both call it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.telemetry.registry import Histogram, Telemetry
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "write_chrome_trace",
+    "read_chrome_trace",
+    "summary_table",
+    "export_all",
+]
+
+PathLike = Union[str, Path]
+
+JSONL_VERSION = 1
+
+#: Stable Chrome-trace tid per event category, one lane each.
+_CAT_LANES = {"blas": 1, "lfd": 2, "scf": 3, "sweep": 4, "app": 5}
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+
+def write_jsonl(collector: Telemetry, path: PathLike) -> Path:
+    """Write the full collector state as a JSONL event trace."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    snap = collector.snapshot()
+    meta = {
+        "type": "meta",
+        "version": JSONL_VERSION,
+        "created_unix": collector.created_at,
+        "written_unix": time.time(),
+        "n_events": snap["n_events"],
+        "dropped_events": snap["dropped_events"],
+    }
+    lines = [json.dumps(meta)]
+    for event in list(collector.events):
+        lines.append(json.dumps({"type": "event", **event}))
+    for name, value in snap["counters"].items():
+        lines.append(json.dumps({"type": "counter", "name": name, "value": value}))
+    for name, hist in snap["histograms"].items():
+        lines.append(json.dumps({"type": "histogram", "name": name, **hist}))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_jsonl(path: PathLike) -> dict:
+    """Parse a JSONL trace back into its constituent parts.
+
+    Returns ``{"meta": dict, "events": [dict], "counters": {name:
+    value}, "histograms": {name: Histogram}}`` — the exact inverse of
+    :func:`write_jsonl` over the exported state.
+    """
+    meta: dict = {}
+    events: List[dict] = []
+    counters: Dict[str, float] = {}
+    histograms: Dict[str, Histogram] = {}
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        kind = obj.pop("type")
+        if kind == "meta":
+            meta = obj
+        elif kind == "event":
+            events.append(obj)
+        elif kind == "counter":
+            counters[obj["name"]] = obj["value"]
+        elif kind == "histogram":
+            histograms[obj.pop("name")] = Histogram.from_dict(obj)
+        else:
+            raise ValueError(f"unknown JSONL record type {kind!r}")
+    return {
+        "meta": meta,
+        "events": events,
+        "counters": counters,
+        "histograms": histograms,
+    }
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+
+
+def chrome_trace_events(collector: Telemetry, pid: int = 1) -> List[dict]:
+    """Convert buffered events to Chrome Trace Event dicts."""
+    process_meta = {"name": "repro.telemetry"}
+    out = [{"name": "process_name", "ph": "M", "pid": pid, "args": process_meta}]
+    for cat, tid in sorted(_CAT_LANES.items(), key=lambda kv: kv[1]):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": cat},
+            }
+        )
+    for event in list(collector.events):
+        tid = _CAT_LANES.get(event.get("cat", "app"), 0)
+        converted = {
+            "name": event["name"],
+            "cat": event.get("cat", "app"),
+            "ph": event.get("ph", "i"),
+            "ts": event["ts"] * 1e6,  # seconds -> microseconds
+            "pid": pid,
+            "tid": tid,
+            "args": {k: v for k, v in event.get("args", {}).items() if v is not None},
+        }
+        if event.get("ph") == "X":
+            converted["dur"] = event["dur"] * 1e6
+        out.append(converted)
+    return out
+
+
+def write_chrome_trace(collector: Telemetry, path: PathLike, pid: int = 1) -> Path:
+    """Write the event buffer as a Chrome/Perfetto-loadable trace."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "traceEvents": chrome_trace_events(collector, pid=pid),
+        "displayTimeUnit": "ms",
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def read_chrome_trace(path: PathLike) -> dict:
+    """Load a Chrome trace file written by :func:`write_chrome_trace`."""
+    return json.loads(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Text summary
+# ----------------------------------------------------------------------
+
+
+def summary_table(collector: Telemetry) -> str:
+    """Aligned text rendering of counters and span statistics."""
+    snap = collector.snapshot()
+    lines = ["== telemetry summary =="]
+    counters = snap["counters"]
+    if counters:
+        width = max(len(name) for name in counters)
+        lines.append("")
+        lines.append(f"{'counter':<{width}}  value")
+        for name, value in counters.items():
+            rendered = f"{value:.6g}" if value != int(value) else f"{int(value)}"
+            lines.append(f"{name:<{width}}  {rendered}")
+    hists = snap["histograms"]
+    if hists:
+        width = max(len(name) for name in hists)
+        lines.append("")
+        lines.append(
+            f"{'timer/histogram':<{width}}  {'count':>8}  {'total':>12}  "
+            f"{'mean':>12}  {'max':>12}"
+        )
+        for name, h in hists.items():
+            count = h["count"]
+            mean = h["total"] / count if count else 0.0
+            hmax = h["max"] if h["max"] is not None else 0.0
+            lines.append(
+                f"{name:<{width}}  {count:>8}  {h['total']:>12.6f}  "
+                f"{mean:>12.6f}  {hmax:>12.6f}"
+            )
+    lines.append("")
+    lines.append(
+        f"events: {snap['n_events']} buffered, {snap['dropped_events']} dropped"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# One-call export
+# ----------------------------------------------------------------------
+
+
+def export_all(collector: Telemetry, out_dir: PathLike) -> Dict[str, Path]:
+    """Write all three artifacts into ``out_dir``.
+
+    Returns ``{"jsonl": ..., "chrome": ..., "summary": ...}`` paths.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "jsonl": write_jsonl(collector, out_dir / "trace.jsonl"),
+        "chrome": write_chrome_trace(collector, out_dir / "trace.chrome.json"),
+        "summary": out_dir / "summary.txt",
+    }
+    paths["summary"].write_text(summary_table(collector) + "\n")
+    return paths

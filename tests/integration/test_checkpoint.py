@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.blas.modes import ComputeMode
 from repro.dcmesh.io.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from repro.dcmesh.simulation import Simulation, SimulationConfig
 

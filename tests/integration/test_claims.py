@@ -1,6 +1,5 @@
 """Integration: the paper-claims traceability matrix."""
 
-import pytest
 
 from repro.experiments.claims import CLAIMS, Claim, evaluate_claims, run
 

@@ -6,7 +6,6 @@ simulation's call log through the *text* representation and back,
 verifying the analysis code sees exactly what the run emitted.
 """
 
-import pytest
 
 from repro.blas.modes import ComputeMode
 from repro.blas.verbose import format_verbose_line, mkl_verbose

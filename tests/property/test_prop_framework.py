@@ -1,7 +1,6 @@
 """Property-based tests: framework-layer invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.blas.modes import ComputeMode

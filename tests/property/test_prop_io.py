@@ -1,13 +1,12 @@
 """Property-based tests: file formats round-trip losslessly."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dcmesh.io.config import parse_config_file, write_config_file
 from repro.dcmesh.io.lfdinput import parse_lfd_input, write_lfd_input
 from repro.dcmesh.laser import LaserPulse
-from repro.dcmesh.material import Material, PTO_SPECIES
+from repro.dcmesh.material import Material
 from repro.dcmesh.observables import QDRecord, format_qd_line, parse_qd_line
 from repro.types import Precision
 

@@ -1,6 +1,5 @@
 """Property-based tests: mode parsing and selection."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.blas.modes import (

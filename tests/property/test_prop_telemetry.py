@@ -1,0 +1,83 @@
+"""Property tests: the telemetry event stream preserves the MKL_VERBOSE
+contract.
+
+Since the unified stream landed, ``VerboseRecord`` lines are rendered
+from records that took a detour through the telemetry collector
+(``emit_call`` -> event buffer -> ``verbose_records()``).  These
+properties pin that detour as lossless: the MKL-look-alike line built
+from the *reconstructed* record still satisfies
+``parse_verbose_line`` exactly as one built from the original.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blas.modes import ComputeMode
+from repro.blas.verbose import VerboseRecord, format_verbose_line
+from repro.profiling.mklverbose import parse_verbose_line
+from repro.telemetry.registry import Telemetry
+
+pytestmark = pytest.mark.telemetry
+
+records = st.builds(
+    VerboseRecord,
+    routine=st.sampled_from(["sgemm", "dgemm", "cgemm", "zgemm"]),
+    trans_a=st.sampled_from(["N", "T", "C"]),
+    trans_b=st.sampled_from(["N", "T", "C"]),
+    m=st.integers(min_value=1, max_value=8192),
+    n=st.integers(min_value=1, max_value=8192),
+    k=st.integers(min_value=1, max_value=8192),
+    mode=st.sampled_from(list(ComputeMode)),
+    # Keep timings in the range where the line format's fixed decimals
+    # retain >= 3 significant digits (1 us .. 100 s).
+    seconds=st.floats(min_value=1e-6, max_value=100.0),
+    model_seconds=st.none() | st.floats(min_value=1e-6, max_value=100.0),
+    site=st.sampled_from(["", "nlp_prop", "calc_energy", "remap_occ", "qmc_proj"]),
+    batch=st.integers(min_value=1, max_value=512),
+)
+
+
+def _detour(rec: VerboseRecord) -> VerboseRecord:
+    """Push one record through the collector and rebuild it."""
+    t = Telemetry()
+    t.blas_call(rec)
+    (rebuilt,) = t.verbose_records()
+    return rebuilt
+
+
+@settings(max_examples=200)
+@given(records)
+def test_collector_detour_is_lossless(rec):
+    rebuilt = _detour(rec)
+    assert rebuilt.routine == rec.routine
+    assert (rebuilt.trans_a, rebuilt.trans_b) == (rec.trans_a, rec.trans_b)
+    assert (rebuilt.m, rebuilt.n, rebuilt.k) == (rec.m, rec.n, rec.k)
+    assert rebuilt.mode is rec.mode
+    assert rebuilt.site == rec.site
+    assert rebuilt.batch == rec.batch
+    assert rebuilt.seconds == rec.seconds
+    assert rebuilt.model_seconds == rec.model_seconds
+
+
+@settings(max_examples=200)
+@given(records)
+def test_rendered_line_is_identical_after_detour(rec):
+    """Bit-for-bit: the MKL-look-alike line does not change because the
+    record travelled through the telemetry buffer."""
+    assert format_verbose_line(_detour(rec)) == format_verbose_line(rec)
+
+
+@settings(max_examples=200)
+@given(records)
+def test_line_from_detoured_record_still_parses(rec):
+    line = format_verbose_line(_detour(rec))
+    parsed = parse_verbose_line(line)
+    assert parsed.routine == rec.routine
+    assert (parsed.trans_a, parsed.trans_b) == (rec.trans_a, rec.trans_b)
+    assert (parsed.m, parsed.n, parsed.k) == (rec.m, rec.n, rec.k)
+    assert parsed.mode is rec.mode
+    assert parsed.site == rec.site
+    assert parsed.batch == rec.batch
+    # The line format keeps >= 3 significant digits of the reported
+    # timing in this range; parsing inverts the unit scaling.
+    assert parsed.seconds == pytest.approx(rec.reported_seconds, rel=5e-3)

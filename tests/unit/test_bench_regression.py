@@ -1,0 +1,125 @@
+"""Tests for ``scripts/check_bench_regression.py``.
+
+The script is the CI gate for the split-plan fast path; these tests
+pin its exit codes, the ``--slack`` relative tolerance, and the
+``--report-only`` non-blocking mode.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "check_bench_regression.py"
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+def _write(tmp_path, speedup=2.0, bitwise=True, floor=1.5, mode="FLOAT_TO_BF16X3"):
+    results = tmp_path / "results.json"
+    floors = tmp_path / "floors.json"
+    results.write_text(
+        json.dumps(
+            {
+                "results": [
+                    {
+                        "mode": mode,
+                        "speedup": speedup,
+                        "bitwise_identical": bitwise,
+                        "cold_seconds": 1e-3,
+                        "prepared_seconds": 1e-3 / max(speedup, 1e-9),
+                    }
+                ]
+            }
+        )
+    )
+    floors.write_text(json.dumps({"floors": {mode: floor}}))
+    return results, floors
+
+
+class TestCheck:
+    def test_passes_above_floor(self, tmp_path, capsys):
+        results, floors = _write(tmp_path, speedup=2.0, floor=1.5)
+        assert bench.check(results, floors) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_fails_below_floor(self, tmp_path, capsys):
+        results, floors = _write(tmp_path, speedup=1.0, floor=1.5)
+        assert bench.check(results, floors) == 1
+        assert "BELOW FLOOR" in capsys.readouterr().out
+
+    def test_fails_on_bitwise_mismatch(self, tmp_path, capsys):
+        results, floors = _write(tmp_path, speedup=2.0, bitwise=False)
+        assert bench.check(results, floors) == 1
+        assert "BITWISE MISMATCH" in capsys.readouterr().out
+
+    def test_fails_on_missing_mode(self, tmp_path):
+        results, floors = _write(tmp_path)
+        floors.write_text(json.dumps({"floors": {"SOME_OTHER_MODE": 1.0}}))
+        assert bench.check(results, floors) == 1
+
+    def test_missing_results_file(self, tmp_path, capsys):
+        assert bench.check(tmp_path / "nope.json", tmp_path / "floors.json") == 1
+        assert "not found" in capsys.readouterr().err
+
+
+class TestSlack:
+    def test_slack_tolerates_shortfall(self, tmp_path):
+        # 1.30x against a 1.50x floor: fails dry, passes with 20% slack.
+        results, floors = _write(tmp_path, speedup=1.30, floor=1.50)
+        assert bench.check(results, floors) == 1
+        assert bench.check(results, floors, slack=0.20) == 0
+
+    def test_slack_never_covers_bitwise(self, tmp_path):
+        results, floors = _write(tmp_path, speedup=5.0, bitwise=False)
+        assert bench.check(results, floors, slack=0.99) == 1
+
+    def test_slack_out_of_range_rejected(self, tmp_path, capsys):
+        results, floors = _write(tmp_path)
+        assert bench.check(results, floors, slack=1.0) == 2
+        assert "--slack" in capsys.readouterr().err
+
+    def test_cli_slack_flag(self, tmp_path):
+        results, floors = _write(tmp_path, speedup=1.30, floor=1.50)
+        argv = [str(results), str(floors), "--slack", "0.2"]
+        assert bench.main(argv) == 0
+
+    def test_env_slack_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BENCH_SLACK", "0.2")
+        results, floors = _write(tmp_path, speedup=1.30, floor=1.50)
+        assert bench.main([str(results), str(floors)]) == 0
+
+
+class TestReportOnly:
+    def test_violations_do_not_fail(self, tmp_path, capsys):
+        results, floors = _write(tmp_path, speedup=1.0, floor=1.5)
+        assert bench.check(results, floors, report_only=True) == 0
+        out = capsys.readouterr()
+        assert "report-only" in out.out
+        assert "warning" in out.err or "warning" in out.out
+
+    def test_github_annotation_format(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("GITHUB_ACTIONS", "true")
+        results, floors = _write(tmp_path, speedup=1.0, floor=1.5)
+        assert bench.check(results, floors, report_only=True) == 0
+        assert "::warning title=bench regression::" in capsys.readouterr().out
+
+    def test_env_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BENCH_REPORT_ONLY", "1")
+        results, floors = _write(tmp_path, speedup=1.0, floor=1.5)
+        assert bench.main([str(results), str(floors)]) == 0
+
+    def test_clean_run_still_passes(self, tmp_path):
+        results, floors = _write(tmp_path, speedup=2.0, floor=1.5)
+        assert bench.check(results, floors, report_only=True) == 0
+
+
+class TestAgainstRepoFloors:
+    def test_repo_floors_file_is_well_formed(self):
+        floors = json.loads(
+            (Path(_SCRIPT).parents[1] / "benchmarks" / "splitgemm_floors.json").read_text()
+        )["floors"]
+        assert floors
+        for mode, floor in floors.items():
+            assert isinstance(mode, str)
+            assert floor > 0

@@ -7,7 +7,6 @@ does.
 """
 
 import numpy as np
-import pytest
 import scipy.linalg.blas as sblas
 
 from repro.blas.gemm import cgemm, dgemm, gemm, sgemm, zgemm

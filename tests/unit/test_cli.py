@@ -1,7 +1,5 @@
 """Unit tests: the ``dcmesh`` simulation CLI."""
 
-import numpy as np
-import pytest
 
 from repro.dcmesh.cli import main
 from repro.dcmesh.io.output import read_run_log

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.schedule import GemmCall, StreamPass, psi_bytes, qd_step_schedule
+from repro.core.schedule import psi_bytes, qd_step_schedule
 from repro.types import Precision
 
 

@@ -9,8 +9,6 @@ from repro.gpu.counters import (
     summarize_utilization,
     utilization_table,
 )
-from repro.gpu.specs import MAX_1550_STACK
-from repro.types import Precision
 
 
 def _rec(routine="cgemm", site="nlp_prop", mode=ComputeMode.STANDARD,

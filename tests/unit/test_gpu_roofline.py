@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu.roofline import RooflinePoint, roofline_time
+from repro.gpu.roofline import roofline_time
 
 
 class TestRoofline:

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.gpu.specs import (
-    DeviceSpec,
-    EngineKind,
-    MAX_1550_STACK,
-    peak_table,
-)
+from repro.gpu.specs import EngineKind, MAX_1550_STACK, peak_table
 from repro.types import Precision
 
 

@@ -7,12 +7,7 @@ import numpy as np
 import pytest
 
 from repro.blas.modes import ComputeMode
-from repro.dcmesh.laser import LaserPulse
-from repro.dcmesh.simulation import (
-    Simulation,
-    SimulationConfig,
-    estimate_device_bytes,
-)
+from repro.dcmesh.simulation import SimulationConfig, estimate_device_bytes
 from repro.types import Precision
 
 

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.dcmesh.constants import AU_PER_FS, FS_PER_AU, HARTREE_EV
+from repro.dcmesh.constants import FS_PER_AU, HARTREE_EV
 from repro.dcmesh.laser import LaserPulse
 from repro.dcmesh.observables import QDRecord
-from repro.dcmesh.spectra import Spectrum, absorption_spectrum, power_spectrum
+from repro.dcmesh.spectra import absorption_spectrum, power_spectrum
 
 
 def _records_from_current(j_of_t, n=512, dt_au=0.5):

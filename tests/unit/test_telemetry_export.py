@@ -1,0 +1,140 @@
+"""Exporter round-trip tests for :mod:`repro.telemetry.exporters`.
+
+The JSONL trace must read back into exactly what was written; the
+Chrome trace must be structurally valid ``trace_event`` JSON with one
+lane per category; the text summary must mention every counter.
+"""
+
+import json
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.blas.verbose import VerboseRecord
+from repro.telemetry import (
+    Telemetry,
+    export_all,
+    read_chrome_trace,
+    read_jsonl,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.exporters import _CAT_LANES, chrome_trace_events
+
+pytestmark = pytest.mark.telemetry
+
+
+def _populated_collector():
+    t = Telemetry()
+    t.count("blas.plan.prepare", 3, result="hit")
+    t.count("blas.plan.prepare", 1, result="miss")
+    t.count("lfd.qd_steps", 5)
+    t.observe("blas.seconds", 1.5e-4)
+    t.observe("blas.seconds", 2.5e-4)
+    with t.span("qd_step", cat="lfd", t_au=0.1):
+        pass
+    t.instant("checkpoint", cat="app", step=2)
+    t.blas_call(
+        VerboseRecord(
+            routine="cgemm", trans_a="N", trans_b="N", m=8, n=6, k=4,
+            mode=ComputeMode.FLOAT_TO_TF32, seconds=3e-4,
+            model_seconds=1e-5, site="nlp_prop", batch=2,
+        )
+    )
+    return t
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        t = _populated_collector()
+        path = write_jsonl(t, tmp_path / "trace.jsonl")
+        back = read_jsonl(path)
+
+        assert back["meta"]["version"] == 1
+        assert back["meta"]["n_events"] == len(t.events)
+        assert back["meta"]["dropped_events"] == 0
+        assert back["counters"] == t.counters_flat()
+        assert len(back["events"]) == len(t.events)
+        assert back["events"] == t.events
+
+        snap = t.snapshot()
+        assert set(back["histograms"]) == set(snap["histograms"])
+        for name, hist in back["histograms"].items():
+            assert hist.to_dict() == snap["histograms"][name]
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = write_jsonl(_populated_collector(), tmp_path / "t.jsonl")
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown JSONL record type"):
+            read_jsonl(bad)
+
+
+class TestChromeTrace:
+    def test_structure(self, tmp_path):
+        t = _populated_collector()
+        path = write_chrome_trace(t, tmp_path / "trace.chrome.json")
+        trace = read_chrome_trace(path)
+
+        events = trace["traceEvents"]
+        names = [e["name"] for e in events]
+        assert "process_name" in names  # metadata events present
+        assert "thread_name" in names
+        # One named lane per category.
+        lanes = {
+            e["args"]["name"]: e["tid"] for e in events if e["name"] == "thread_name"
+        }
+        assert lanes == _CAT_LANES
+
+    def test_events_convert_to_microseconds(self):
+        t = _populated_collector()
+        span = next(e for e in t.events if e["ph"] == "X" and e["cat"] == "lfd")
+        converted = next(
+            e
+            for e in chrome_trace_events(t)
+            if e.get("ph") == "X" and e["cat"] == "lfd"
+        )
+        assert converted["ts"] == pytest.approx(span["ts"] * 1e6)
+        assert converted["dur"] == pytest.approx(span["dur"] * 1e6)
+        assert converted["tid"] == _CAT_LANES["lfd"]
+
+    def test_none_args_are_stripped(self):
+        t = Telemetry()
+        t.blas_call(
+            VerboseRecord(
+                routine="cgemm", trans_a="N", trans_b="N", m=2, n=2, k=2,
+                mode=ComputeMode.STANDARD, seconds=1e-5,
+            )
+        )
+        blas = next(e for e in chrome_trace_events(t) if e.get("cat") == "blas")
+        assert "model_seconds" not in blas["args"]  # was None
+
+
+class TestSummary:
+    def test_mentions_every_counter_and_histogram(self):
+        t = _populated_collector()
+        text = summary_table(t)
+        for name in t.counters_flat():
+            assert name in text
+        for name in t.snapshot()["histograms"]:
+            assert name in text
+        assert "dropped" in text
+
+    def test_empty_collector_renders(self):
+        assert "telemetry summary" in summary_table(Telemetry())
+
+
+class TestExportAll:
+    def test_writes_all_three_artifacts(self, tmp_path):
+        paths = export_all(_populated_collector(), tmp_path / "out")
+        assert sorted(paths) == ["chrome", "jsonl", "summary"]
+        for path in paths.values():
+            assert path.is_file()
+            assert path.stat().st_size > 0
+        assert read_jsonl(paths["jsonl"])["meta"]["version"] == 1
+        assert "traceEvents" in read_chrome_trace(paths["chrome"])
