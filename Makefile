@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast lint ci bench bench-split repro report claims examples clean
+.PHONY: install test test-fast lint ci bench bench-split bench-telemetry repro report claims examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -32,6 +32,9 @@ bench:
 bench-split:
 	$(PYTHON) -m pytest benchmarks/test_split_gemm_perf.py -q -p no:cacheprovider
 	$(PYTHON) scripts/check_bench_regression.py
+
+bench-telemetry:
+	$(PYTHON) -m pytest benchmarks/test_telemetry_overhead.py -q -p no:cacheprovider
 
 repro:
 	$(PYTHON) -m repro.experiments.runner all --output repro_output/

@@ -9,7 +9,10 @@ Reproduces the paper's core workflow on a laptop-scale system:
 4. compare the key observables (ekin, nexc, javg).
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py out/   # + telemetry bundle and run_report.md
 """
+
+import sys
 
 import numpy as np
 
@@ -17,7 +20,7 @@ from repro.blas.verbose import format_verbose_line, mkl_verbose
 from repro.dcmesh import Simulation, SimulationConfig
 
 
-def main() -> None:
+def main(out_dir=None) -> None:
     # A structurally-complete small system: one PbTiO3-like cell,
     # 12^3 mesh, 24 orbitals (16 occupied).  Same code path as the
     # paper's 135-atom run, ~1000x smaller.
@@ -35,8 +38,19 @@ def main() -> None:
     ref = sim.run(mode="STANDARD")
 
     print("Running LFD with MKL_BLAS_COMPUTE_MODE=FLOAT_TO_BF16...")
+    monitor = collector = None
+    if out_dir is not None:
+        # Telemetry + drift monitoring against the FP32 trajectory we
+        # just produced; the export below includes run_report.md.
+        from repro.telemetry import registry
+        from repro.telemetry.drift import DriftMonitor, ReferenceTrajectory
+
+        monitor = DriftMonitor(reference=ReferenceTrajectory.from_result(ref))
+        collector = registry.enable()
     with mkl_verbose() as log:
-        bf16 = sim.run(mode="FLOAT_TO_BF16")
+        bf16 = sim.run(mode="FLOAT_TO_BF16", drift=monitor)
+    if collector is not None:
+        registry.disable()
     print(f"  {len(log)} BLAS calls issued; first three:")
     for record in log[:3]:
         print("   ", format_verbose_line(record))
@@ -53,6 +67,17 @@ def main() -> None:
         f"ekin = {final.ekin:.4f} Ha"
     )
 
+    if collector is not None:
+        from repro.telemetry.exporters import export_all
+
+        paths = export_all(collector, out_dir)
+        names = ", ".join(sorted(p.name for p in paths.values()))
+        print(f"\ntelemetry exported to {out_dir} ({names})")
+        print(
+            f"drift: {len(monitor.alerts)} alert(s), "
+            f"{len(monitor.breaches())} budget breach(es)"
+        )
+
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -49,27 +49,64 @@ def _warn(message: str) -> None:
         print(f"warning: {message}", file=sys.stderr)
 
 
+def _fail_or_report(message: str, report_only: bool) -> int:
+    """One-line diagnosis of an unusable input file.
+
+    ``--report-only`` keeps the CI-annotation contract: warn, exit 0.
+    """
+    if report_only:
+        _warn(message)
+        print("bench regression check skipped (report-only mode).")
+        return 0
+    print(f"error: {message}", file=sys.stderr)
+    return 1
+
+
+def _load_json(path: Path, hint: str):
+    """Parse ``path`` or return a one-line reason string why not."""
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return None, f"{path} not found — {hint}"
+    except OSError as exc:
+        return None, f"{path} unreadable ({exc.strerror or exc}) — {hint}"
+    try:
+        return json.loads(text), None
+    except json.JSONDecodeError as exc:
+        return None, f"{path} is not valid JSON (line {exc.lineno}: {exc.msg}) — {hint}"
+
+
 def check(
     results_path: Path,
     floors_path: Path,
     slack: float = 0.0,
     report_only: bool = False,
 ) -> int:
+    results, problem = _load_json(
+        results_path,
+        "run `pytest benchmarks/test_split_gemm_perf.py` (or `make bench-split`) first",
+    )
+    if problem is not None:
+        return _fail_or_report(problem, report_only)
+    floors_doc, problem = _load_json(
+        floors_path, "the baseline floors file should be committed in benchmarks/"
+    )
+    if problem is not None:
+        return _fail_or_report(problem, report_only)
     try:
-        results = json.loads(results_path.read_text())
-    except FileNotFoundError:
-        print(
-            f"error: {results_path} not found — run "
-            "`pytest benchmarks/test_split_gemm_perf.py` (or `make bench-split`) first",
-            file=sys.stderr,
+        floors = floors_doc["floors"]
+        result_rows = results["results"]
+    except (KeyError, TypeError):
+        missing = "floors" if not isinstance(floors_doc, dict) or "floors" not in floors_doc else "results"
+        doc = floors_path if missing == "floors" else results_path
+        return _fail_or_report(
+            f"{doc} is missing its {missing!r} key — regenerate it", report_only
         )
-        return 1
-    floors = json.loads(floors_path.read_text())["floors"]
     if not 0.0 <= slack < 1.0:
         print(f"error: --slack must be in [0, 1), got {slack}", file=sys.stderr)
         return 2
 
-    rows = {row["mode"]: row for row in results["results"]}
+    rows = {row["mode"]: row for row in result_rows}
     failures = []
     for mode, floor in floors.items():
         row = rows.get(mode)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Generate a ``run_report.md`` from an exported telemetry trace.
+
+``runner --telemetry DIR`` writes the report automatically; this
+script regenerates it *offline* from the machine-first
+``trace.jsonl`` — useful for traces copied off a cluster, CI
+artifacts, or after tweaking the report renderer.
+
+Usage::
+
+    python scripts/make_run_report.py out/trace.jsonl [-o out/run_report.md]
+
+With no ``-o`` the report is written next to the trace as
+``run_report.md``; ``-o -`` prints it to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.telemetry.report import generate_run_report  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Render run_report.md from a telemetry trace.jsonl."
+    )
+    parser.add_argument(
+        "trace", type=Path,
+        help="trace.jsonl written by runner --telemetry / export_all",
+    )
+    parser.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="report destination (default: run_report.md next to the "
+        "trace; '-' for stdout)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.trace.is_file():
+        print(f"error: {args.trace} not found", file=sys.stderr)
+        return 1
+    if args.output == "-":
+        print(generate_run_report(args.trace))
+        return 0
+    out = (
+        Path(args.output)
+        if args.output is not None
+        else args.trace.parent / "run_report.md"
+    )
+    generate_run_report(args.trace, out_path=out)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

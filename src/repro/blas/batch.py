@@ -29,6 +29,8 @@ from repro.blas.gemm import (
 from repro.blas.modes import ComputeMode, resolve_mode
 from repro.blas.plan import PreparedOperand, operand_handle
 from repro.blas.verbose import VerboseRecord, emit_call, observing
+from repro.telemetry.provenance import register_call_site, site_scope
+from repro.telemetry.registry import active as _telemetry_active
 
 __all__ = ["gemm_batch"]
 
@@ -83,8 +85,18 @@ def gemm_batch(
     batch, m, k = a_h.shape
     n = b_h.shape[-1]
 
+    site_id = ""
+    if _telemetry_active() is not None:
+        site_id = register_call_site(
+            _current_site() or "-", "gemm_batch", routine, m, n, k, batch
+        )
+
     t0 = time.perf_counter()
-    out = _compute(a_h, b_h, effective, dtype)
+    if site_id:
+        with site_scope(site_id):
+            out = _compute(a_h, b_h, effective, dtype)
+    else:
+        out = _compute(a_h, b_h, effective, dtype)
     wall = time.perf_counter() - t0
     if alpha != 1.0:
         out = (alpha * out).astype(dtype, copy=False)
@@ -110,6 +122,7 @@ def gemm_batch(
                 model_seconds=model_seconds,
                 site=_current_site(),
                 batch=batch,
+                site_id=site_id,
             )
         )
     return out

@@ -30,6 +30,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.telemetry.provenance import current_site_id as _current_site_id
 from repro.telemetry.registry import active as _telemetry_active
 
 __all__ = ["gemm_4m", "gemm_3m", "gemm_4m_split_planned", "gemm_3m_planned"]
@@ -39,7 +40,7 @@ def _count_kernel(variant: str) -> None:
     """Per-variant complex-kernel counter (no-op while telemetry is off)."""
     t = _telemetry_active()
     if t is not None:
-        t.count("blas.complex_kernels", variant=variant)
+        t.count("blas.complex_kernels", variant=variant, site=_current_site_id() or "-")
 
 RealGemm = Callable[[np.ndarray, np.ndarray], np.ndarray]
 

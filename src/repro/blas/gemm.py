@@ -33,6 +33,8 @@ from repro.blas.plan import OrientedOperand, PreparedOperand, operand_handle
 from repro.blas.rounding import round_to_precision
 from repro.blas.verbose import VerboseRecord, emit_call, observing
 from repro.blas.workspace import split_gemm_fused
+from repro.telemetry.provenance import register_call_site, site_scope
+from repro.telemetry.registry import active as _telemetry_active
 
 __all__ = [
     "gemm",
@@ -295,8 +297,18 @@ def gemm(
     m, k = op_a_shape
     n = op_b_shape[1]
 
+    # Provenance only exists while a collector is installed; the
+    # disabled path stays at the single global read below.
+    site_id = ""
+    if _telemetry_active() is not None:
+        site_id = register_call_site(_current_site() or "-", "gemm", routine, m, n, k)
+
     t0 = time.perf_counter()
-    out = _compute(a_h, b_h, effective, dtype)
+    if site_id:
+        with site_scope(site_id):
+            out = _compute(a_h, b_h, effective, dtype)
+    else:
+        out = _compute(a_h, b_h, effective, dtype)
     wall = time.perf_counter() - t0
 
     if alpha != 1.0:
@@ -328,6 +340,7 @@ def gemm(
                 seconds=wall,
                 model_seconds=model_seconds,
                 site=_current_site(),
+                site_id=site_id,
             )
         )
     return out

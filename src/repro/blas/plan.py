@@ -44,6 +44,7 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 import numpy as np
 
 from repro.blas.rounding import split_terms
+from repro.telemetry.provenance import current_site_id as _current_site_id
 from repro.telemetry.registry import active as _telemetry_active
 
 __all__ = [
@@ -170,12 +171,22 @@ class PreparedOperand:
         t = _telemetry_active()
         if got is None:
             if t is not None:
-                t.count("blas.plan.derive", result="build", kind=key[0])
+                t.count(
+                    "blas.plan.derive",
+                    result="build",
+                    kind=key[0],
+                    site=_current_site_id() or "-",
+                )
             got = builder()
             with self._lock:
                 got = self._derived.setdefault(key, got)
         elif t is not None:
-            t.count("blas.plan.derive", result="hit", kind=key[0])
+            t.count(
+                "blas.plan.derive",
+                result="hit",
+                kind=key[0],
+                site=_current_site_id() or "-",
+            )
         return got
 
     def oriented(self, trans: str, dtype: np.dtype) -> np.ndarray:

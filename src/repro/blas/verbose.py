@@ -66,6 +66,7 @@ class VerboseRecord:
     model_seconds: Optional[float] = None  #: device-model predicted time
     site: str = ""        #: application call site (nlp_prop / calc_energy / remap_occ)
     batch: int = 1        #: > 1 for gemm_batch calls
+    site_id: str = ""     #: stable provenance ID (repro.telemetry.provenance)
 
     @property
     def flops(self) -> float:

@@ -34,6 +34,7 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.telemetry.provenance import current_site_id as _current_site_id
 from repro.telemetry.registry import active as _telemetry_active
 from repro.types import MANTISSA_BITS, Precision
 
@@ -75,10 +76,11 @@ class Workspace:
             buf = np.empty(shape, dtype=dtype)
             self._buffers[key] = buf
             if t is not None:
-                t.count("blas.workspace.allocations", tag=tag)
-                t.count("blas.workspace.allocated_bytes", buf.nbytes, tag=tag)
+                site = _current_site_id() or "-"
+                t.count("blas.workspace.allocations", tag=tag, site=site)
+                t.count("blas.workspace.allocated_bytes", buf.nbytes, tag=tag, site=site)
         elif t is not None:
-            t.count("blas.workspace.reuses", tag=tag)
+            t.count("blas.workspace.reuses", tag=tag, site=_current_site_id() or "-")
         return buf
 
     def clear(self) -> None:
@@ -216,7 +218,12 @@ def split_gemm_fused(
 
     t = _telemetry_active()
     if t is not None:
-        t.count("blas.split_gemm_fused", precision=precision.name, n_terms=n_terms)
+        t.count(
+            "blas.split_gemm_fused",
+            precision=precision.name,
+            n_terms=n_terms,
+            site=_current_site_id() or "-",
+        )
     keep = MANTISSA_BITS[precision]
     a_terms = a_handle.split_stack(keep, n_terms, part=part_a)
     b_terms = b_handle.split_stack(keep, n_terms, part=part_b)

@@ -29,6 +29,7 @@ import numpy as np
 from repro.dcmesh.laser import LaserPulse
 from repro.dcmesh.mesh import Mesh
 from repro.dcmesh.nlp import NonlocalPropagator
+from repro.telemetry.drift import active_drift_monitor as _drift_active
 from repro.telemetry.registry import active as _telemetry_active
 
 __all__ = ["LFDPropagator"]
@@ -106,7 +107,14 @@ class LFDPropagator:
         With telemetry installed, the whole step is timed as one
         ``qd_step`` span (the per-phase unit the paper's Fig. 3a
         accounting is built from); otherwise the path is untouched.
+        An ambient :class:`~repro.telemetry.drift.DriftMonitor` gets a
+        per-step tick so its step accounting is independent of the
+        driver's observe cadence.  Both disabled paths are one global
+        read each.
         """
+        dm = _drift_active()
+        if dm is not None:
+            dm.note_qd_step(t)
         tm = _telemetry_active()
         if tm is None:
             return self._step_impl(psi, t, a_extra)

@@ -40,6 +40,12 @@ from repro.dcmesh.propagate import LFDPropagator
 from repro.dcmesh.scf import SCFParams, SCFResult, SCFSolver
 from repro.dcmesh.shadow import TransferLedger
 from repro.dcmesh.wavefunction import OrbitalSet
+from repro.telemetry.drift import (
+    DriftMonitor,
+    active_drift_monitor,
+    drift_enabled,
+    drift_monitoring,
+)
 from repro.telemetry.registry import active as _telemetry_active
 from repro.types import Precision, complex_dtype, real_dtype
 
@@ -256,6 +262,7 @@ class Simulation:
         checkpoint_path=None,
         resume_from=None,
         diagnostics=None,
+        drift: Union[bool, DriftMonitor, None] = None,
     ) -> SimulationResult:
         """Run the MD loop for ``n_steps`` QD steps (default: config).
 
@@ -271,6 +278,14 @@ class Simulation:
         :class:`~repro.dcmesh.diagnostics.DiagnosticsCollector`)
         samples unitarity/orthonormality health per step without
         touching the BLAS-call structure.
+
+        ``drift`` attaches a :class:`~repro.telemetry.drift.DriftMonitor`
+        that samples nexc/javg/ekin every QD step: pass a configured
+        monitor (reference + budget -> live alerts), ``True`` to
+        auto-create one, ``False`` to force it off, or leave ``None``
+        to follow the ambient installation (``REPRO_DRIFT=1`` /
+        ``runner --drift-budget``).  An auto-created monitor derives
+        its budget from the first SCF block's ``||H_nl||``.
         """
         cfg = self.config
         ground = self.setup()
@@ -286,6 +301,18 @@ class Simulation:
         )
         solver = SCFSolver(mesh, material, self._solver.projectors, cfg.scf)
         effective_mode = resolve_mode(mode)
+        # Drift observatory: explicit monitor > explicit off > ambient
+        # installation (REPRO_DRIFT / --drift-budget auto-creates one).
+        if isinstance(drift, DriftMonitor):
+            dm = drift
+        elif drift is False:
+            dm = None
+        else:
+            dm = active_drift_monitor()
+            if dm is None and (drift is True or drift_enabled()):
+                dm = DriftMonitor(mode=effective_mode)
+        if dm is not None and dm.mode is None:
+            dm.mode = effective_mode
         total = cfg.n_qd_steps if n_steps is None else int(n_steps)
         if total < 1:
             raise ValueError(f"n_steps must be >= 1, got {total}")
@@ -383,7 +410,14 @@ class Simulation:
                 javg=j,
             )
 
-        with use_device(self.device):
+        # Install the monitor ambiently for the loop so the propagator's
+        # QD-step hook ticks it even when it was passed explicitly.
+        dm_scope = (
+            drift_monitoring(dm)
+            if dm is not None and active_drift_monitor() is not dm
+            else contextlib.nullcontext()
+        )
+        with dm_scope, use_device(self.device):
             with compute_mode(effective_mode):
                 remaining = total - step
                 while remaining > 0:
@@ -399,6 +433,10 @@ class Simulation:
                     h_nl_sub = projectors.subspace_matrix(
                         psi0.astype(np.complex128)
                     )
+                    if dm is not None and dm.budget is None:
+                        dm.set_budget_for_mode(
+                            effective_mode, cfg.dt, float(np.linalg.norm(h_nl_sub))
+                        )
                     nlp = NonlocalPropagator(psi0, h_nl_sub, cfg.dt, mesh)
                     prop = LFDPropagator(
                         mesh, v_eff, nlp, cfg.laser, cfg.dt,
@@ -408,6 +446,8 @@ class Simulation:
                     if step == 0:
                         rec0 = observe(0.0, psi, h_nl_sub)
                         records.append(rec0)
+                        if dm is not None:
+                            dm.observe(rec0)
                         if diagnostics is not None:
                             diagnostics.observe(0, psi, rec0.etot)
 
@@ -425,6 +465,8 @@ class Simulation:
                             step += 1
                             rec = observe(step * cfg.dt, psi, h_nl_sub)
                             records.append(rec)
+                            if dm is not None:
+                                dm.observe(rec)
                             if field is not None:
                                 field.step(rec.javg)
                             if diagnostics is not None:
@@ -504,6 +546,9 @@ class Simulation:
         from repro.blas.plan import release
 
         release(psi0)
+
+        if dm is not None:
+            dm.finalize()
 
         return SimulationResult(
             config=cfg,

@@ -45,7 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--telemetry", default=None, metavar="DIR",
         help="collect telemetry for the run and export a JSONL event "
-        "trace, a Chrome/Perfetto trace and a text summary into DIR",
+        "trace, a Chrome/Perfetto trace, a text summary and a "
+        "run_report.md into DIR",
+    )
+    parser.add_argument(
+        "--drift-budget", action="store_true",
+        help="monitor observable drift against the per-mode error budget "
+        "during simulation-backed experiments (REPRO_DRIFT=1 equivalent); "
+        "gauges/alerts land in the telemetry trace and run report",
     )
     return parser
 
@@ -78,6 +85,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         scope = contextlib.nullcontext()
 
+    if args.drift_budget:
+        # Ambient enablement: Simulation.run sees no installed monitor
+        # and auto-creates one per run (budget from the first SCF
+        # block's ||H_nl||), exactly as REPRO_DRIFT=1 would.
+        from repro.telemetry.drift import set_drift_enabled
+
+        set_drift_enabled(True)
+
     with scope:
         if args.jobs > 1 and len(names) > 1:
             # Independent artifacts fan out over a thread pool (NumPy
@@ -100,9 +115,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 result = run_experiment(name, fast=not args.full, output_dir=args.output)
                 print(result["text"])
                 print()
+    if args.drift_budget:
+        from repro.telemetry.drift import set_drift_enabled
+
+        set_drift_enabled(None)
     if args.telemetry is not None:
         print(f"telemetry exported to {args.telemetry}/ "
-              "(trace.jsonl, trace.chrome.json, summary.txt)")
+              "(trace.jsonl, trace.chrome.json, summary.txt, run_report.md)")
     return 0
 
 

@@ -20,14 +20,26 @@ or, with no source changes, ``REPRO_TELEMETRY=1`` plus
 from repro.telemetry.registry import (
     BUCKET_BOUNDS,
     MAX_EVENTS,
+    MAX_EVENTS_ENV,
     TELEMETRY_ENV,
     Histogram,
     Telemetry,
     active,
     disable,
     enable,
+    format_counter_name,
+    parse_counter_name,
     telemetry,
     telemetry_enabled,
+)
+from repro.telemetry.provenance import (
+    CallSite,
+    all_sites,
+    call_site_id,
+    current_site_id,
+    lookup_site,
+    register_call_site,
+    site_scope,
 )
 from repro.telemetry.exporters import (
     export_all,
@@ -37,22 +49,55 @@ from repro.telemetry.exporters import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.telemetry.drift import (
+    DRIFT_ENV,
+    DriftMonitor,
+    ErrorBudget,
+    ReferenceTrajectory,
+    drift_enabled,
+    drift_monitoring,
+    install_drift_monitor,
+    active_drift_monitor,
+    set_drift_enabled,
+)
+from repro.telemetry.report import generate_run_report, render_run_report
 
 __all__ = [
     "BUCKET_BOUNDS",
     "MAX_EVENTS",
+    "MAX_EVENTS_ENV",
     "TELEMETRY_ENV",
     "Histogram",
     "Telemetry",
     "active",
     "disable",
     "enable",
+    "format_counter_name",
+    "parse_counter_name",
     "telemetry",
     "telemetry_enabled",
+    "CallSite",
+    "all_sites",
+    "call_site_id",
+    "current_site_id",
+    "lookup_site",
+    "register_call_site",
+    "site_scope",
     "export_all",
     "read_chrome_trace",
     "read_jsonl",
     "summary_table",
     "write_chrome_trace",
     "write_jsonl",
+    "DRIFT_ENV",
+    "DriftMonitor",
+    "ErrorBudget",
+    "ReferenceTrajectory",
+    "drift_enabled",
+    "drift_monitoring",
+    "install_drift_monitor",
+    "active_drift_monitor",
+    "set_drift_enabled",
+    "generate_run_report",
+    "render_run_report",
 ]

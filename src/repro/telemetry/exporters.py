@@ -69,6 +69,8 @@ def write_jsonl(collector: Telemetry, path: PathLike) -> Path:
         lines.append(json.dumps({"type": "event", **event}))
     for name, value in snap["counters"].items():
         lines.append(json.dumps({"type": "counter", "name": name, "value": value}))
+    for name, value in snap.get("gauges", {}).items():
+        lines.append(json.dumps({"type": "gauge", "name": name, "value": value}))
     for name, hist in snap["histograms"].items():
         lines.append(json.dumps({"type": "histogram", "name": name, **hist}))
     path.write_text("\n".join(lines) + "\n")
@@ -79,12 +81,13 @@ def read_jsonl(path: PathLike) -> dict:
     """Parse a JSONL trace back into its constituent parts.
 
     Returns ``{"meta": dict, "events": [dict], "counters": {name:
-    value}, "histograms": {name: Histogram}}`` — the exact inverse of
-    :func:`write_jsonl` over the exported state.
+    value}, "gauges": {name: value}, "histograms": {name: Histogram}}``
+    — the exact inverse of :func:`write_jsonl` over the exported state.
     """
     meta: dict = {}
     events: List[dict] = []
     counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
     histograms: Dict[str, Histogram] = {}
     for line in Path(path).read_text().splitlines():
         if not line.strip():
@@ -97,6 +100,8 @@ def read_jsonl(path: PathLike) -> dict:
             events.append(obj)
         elif kind == "counter":
             counters[obj["name"]] = obj["value"]
+        elif kind == "gauge":
+            gauges[obj["name"]] = obj["value"]
         elif kind == "histogram":
             histograms[obj.pop("name")] = Histogram.from_dict(obj)
         else:
@@ -105,6 +110,7 @@ def read_jsonl(path: PathLike) -> dict:
         "meta": meta,
         "events": events,
         "counters": counters,
+        "gauges": gauges,
         "histograms": histograms,
     }
 
@@ -179,6 +185,13 @@ def summary_table(collector: Telemetry) -> str:
         for name, value in counters.items():
             rendered = f"{value:.6g}" if value != int(value) else f"{int(value)}"
             lines.append(f"{name:<{width}}  {rendered}")
+    gauges = snap.get("gauges", {})
+    if gauges:
+        width = max(len(name) for name in gauges)
+        lines.append("")
+        lines.append(f"{'gauge':<{width}}  value")
+        for name, value in gauges.items():
+            lines.append(f"{name:<{width}}  {value:.6g}")
     hists = snap["histograms"]
     if hists:
         width = max(len(name) for name in hists)
@@ -208,16 +221,22 @@ def summary_table(collector: Telemetry) -> str:
 
 
 def export_all(collector: Telemetry, out_dir: PathLike) -> Dict[str, Path]:
-    """Write all three artifacts into ``out_dir``.
+    """Write all run artifacts into ``out_dir``.
 
-    Returns ``{"jsonl": ..., "chrome": ..., "summary": ...}`` paths.
+    Returns ``{"jsonl": ..., "chrome": ..., "summary": ..., "report":
+    ...}`` paths; ``report`` is the human-first ``run_report.md``
+    rendered by :mod:`repro.telemetry.report`.
     """
+    from repro.telemetry.report import data_from_collector, render_run_report
+
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     paths = {
         "jsonl": write_jsonl(collector, out_dir / "trace.jsonl"),
         "chrome": write_chrome_trace(collector, out_dir / "trace.chrome.json"),
         "summary": out_dir / "summary.txt",
+        "report": out_dir / "run_report.md",
     }
     paths["summary"].write_text(summary_table(collector) + "\n")
+    paths["report"].write_text(render_run_report(data_from_collector(collector)) + "\n")
     return paths

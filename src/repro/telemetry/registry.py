@@ -39,9 +39,12 @@ import threading
 import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.telemetry.provenance import register_call_site as _register_call_site
+
 __all__ = [
     "TELEMETRY_ENV",
     "MAX_EVENTS",
+    "MAX_EVENTS_ENV",
     "Histogram",
     "Telemetry",
     "active",
@@ -49,15 +52,39 @@ __all__ = [
     "enable",
     "disable",
     "telemetry",
+    "format_counter_name",
+    "parse_counter_name",
 ]
 
 #: Environment variable that installs a collector at import time.
 TELEMETRY_ENV = "REPRO_TELEMETRY"
 
-#: Hard cap on buffered trace events.  Beyond it new events are counted
-#: in :attr:`Telemetry.dropped_events` instead of stored, so a very long
-#: run degrades to counters-only rather than exhausting memory.
-MAX_EVENTS = 1_000_000
+#: Environment variable overriding the event-buffer cap (an integer;
+#: invalid or non-positive values fall back to the default).
+MAX_EVENTS_ENV = "REPRO_TELEMETRY_MAX_EVENTS"
+
+_DEFAULT_MAX_EVENTS = 1_000_000
+
+
+def _max_events_from_env() -> int:
+    """The event-buffer cap, honouring ``REPRO_TELEMETRY_MAX_EVENTS``."""
+    raw = os.environ.get(MAX_EVENTS_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return _DEFAULT_MAX_EVENTS
+        if value > 0:
+            return value
+    return _DEFAULT_MAX_EVENTS
+
+
+#: Hard cap on buffered trace events (default 1,000,000, configurable
+#: via ``REPRO_TELEMETRY_MAX_EVENTS``).  Beyond it new events are
+#: counted in :attr:`Telemetry.dropped_events` and the
+#: ``telemetry.events_dropped`` counter instead of stored, so a very
+#: long run degrades to counters-only rather than exhausting memory.
+MAX_EVENTS = _max_events_from_env()
 
 #: Histogram bucket upper bounds, seconds (log-spaced 1 us .. 10 s).
 BUCKET_BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
@@ -122,12 +149,55 @@ def _label_key(labels: dict) -> Tuple[Tuple[str, str], ...]:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label(text: str) -> str:
+    """Backslash-escape the characters the rendered form reserves."""
+    for ch in ("\\", "{", "}", "=", ","):
+        text = text.replace(ch, "\\" + ch)
+    return text
+
+
 def format_counter_name(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
-    """Render ``name{k=v,...}`` the way the summary table prints it."""
+    """Render ``name{k=v,...}`` the way the summary table prints it.
+
+    Label keys and values are backslash-escaped (``\\`` ``{`` ``}``
+    ``=`` ``,``) so the rendering is unambiguous — and invertible by
+    :func:`parse_counter_name` — whatever the labels contain.  Normal
+    identifiers render exactly as before.
+    """
     if not labels:
         return name
-    inner = ",".join(f"{k}={v}" for k, v in labels)
+    inner = ",".join(f"{_escape_label(k)}={_escape_label(v)}" for k, v in labels)
     return f"{name}{{{inner}}}"
+
+
+def parse_counter_name(rendered: str) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    """Inverse of :func:`format_counter_name`.
+
+    Returns ``(name, labels)`` with labels in rendered (sorted) order.
+    The run-report generator uses this to regroup the flat counter
+    names a JSONL trace stores.
+    """
+    if not rendered.endswith("}") or "{" not in rendered:
+        return rendered, ()
+    brace = rendered.index("{")
+    name, inner = rendered[:brace], rendered[brace + 1 : -1]
+    labels = []
+    key, buf, escaped = None, [], False
+    for ch in inner:
+        if escaped:
+            buf.append(ch)
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        elif ch == "=" and key is None:
+            key, buf = "".join(buf), []
+        elif ch == ",":
+            labels.append((key or "", "".join(buf)))
+            key, buf = None, []
+        else:
+            buf.append(ch)
+    labels.append((key or "", "".join(buf)))
+    return name, tuple(labels)
 
 
 class Telemetry:
@@ -145,6 +215,8 @@ class Telemetry:
         self.created_at = time.time()
         #: (name, labels) -> monotonic value
         self.counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+        #: (name, labels) -> last set value (non-monotonic)
+        self.gauges: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
         self.histograms: Dict[str, Histogram] = {}
         self.events: List[dict] = []
         self.dropped_events = 0
@@ -173,6 +245,21 @@ class Telemetry:
         with self._lock:
             return sum(v for (n, _), v in self.counters.items() if n == name)
 
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins).
+
+        Gauges carry levels rather than totals — the drift monitor's
+        budget-utilization readings are the canonical use.
+        """
+        key = (name, _label_key(labels))
+        with self._lock:
+            self.gauges[key] = float(value)
+
+    def gauge_value(self, name: str, **labels) -> Optional[float]:
+        """Current value of one gauge series (``None`` if never set)."""
+        with self._lock:
+            return self.gauges.get((name, _label_key(labels)))
+
     def observe(self, name: str, value: float) -> None:
         """Record ``value`` into the histogram ``name``."""
         with self._lock:
@@ -186,7 +273,12 @@ class Telemetry:
     def _append_event(self, event: dict) -> None:
         with self._lock:
             if len(self.events) >= MAX_EVENTS:
+                # Not a silent cap: the drop is visible both as the
+                # attribute and as a first-class counter series (the
+                # lock is held, so mutate the dict directly).
                 self.dropped_events += 1
+                key = ("telemetry.events_dropped", ())
+                self.counters[key] = self.counters.get(key, 0.0) + 1.0
                 return
             self.events.append(event)
 
@@ -237,6 +329,25 @@ class Telemetry:
         self.observe("blas.seconds", rec.seconds)
         if rec.model_seconds is not None:
             self.observe("blas.model_seconds", rec.model_seconds)
+        # Per-call-site provenance: stable ID keyed series, the basis of
+        # the run report's hot table and any per-site precision policy.
+        site_id = getattr(rec, "site_id", "")
+        if not site_id:
+            site_id = _register_call_site(
+                rec.site or "-",
+                "gemm_batch" if rec.batch > 1 else "gemm",
+                rec.routine,
+                rec.m,
+                rec.n,
+                rec.k,
+                rec.batch,
+            )
+        self.count("blas.site.calls", site_id=site_id)
+        self.count("blas.site.flops", rec.flops, site_id=site_id)
+        self.count("blas.site.bytes", nbytes, site_id=site_id)
+        self.count("blas.site.seconds", rec.seconds, site_id=site_id)
+        if rec.model_seconds is not None:
+            self.count("blas.site.model_seconds", rec.model_seconds, site_id=site_id)
         ts = self.now() - rec.seconds
         self._append_event(
             {
@@ -253,6 +364,7 @@ class Telemetry:
                     "k": rec.k,
                     "mode": mode,
                     "site": rec.site,
+                    "site_id": site_id,
                     "batch": rec.batch,
                     "model_seconds": rec.model_seconds,
                 },
@@ -287,6 +399,7 @@ class Telemetry:
                     model_seconds=a["model_seconds"],
                     site=a["site"],
                     batch=a["batch"],
+                    site_id=a.get("site_id", ""),
                 )
             )
         return records
@@ -302,6 +415,15 @@ class Telemetry:
             for (name, labels), value in sorted(items)
         }
 
+    def gauges_flat(self) -> Dict[str, float]:
+        """Gauges as ``{"name{k=v}": value}`` (stable sorted keys)."""
+        with self._lock:
+            items = list(self.gauges.items())
+        return {
+            format_counter_name(name, labels): value
+            for (name, labels), value in sorted(items)
+        }
+
     def snapshot(self) -> dict:
         """JSON-safe summary of everything the collector holds."""
         with self._lock:
@@ -310,6 +432,7 @@ class Telemetry:
             dropped = self.dropped_events
         return {
             "counters": self.counters_flat(),
+            "gauges": self.gauges_flat(),
             "histograms": hists,
             "n_events": n_events,
             "dropped_events": dropped,

@@ -1,0 +1,151 @@
+"""Integration: the drift observatory end to end (ISSUE 6 acceptance).
+
+On the paper's small lattice, a BF16 run monitored against the FP32
+trajectory must fire a budget-breach alert, while the FP32 run on the
+same trajectory — bitwise-identical by the paper's methodology — must
+fire none.  The alerts, gauges and per-site provenance must all land
+in the telemetry trace and render into the run report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dcmesh.simulation import Simulation, SimulationConfig
+from repro.telemetry import registry
+from repro.telemetry.drift import (
+    DriftMonitor,
+    ErrorBudget,
+    ReferenceTrajectory,
+    install_drift_monitor,
+    set_drift_enabled,
+)
+from repro.telemetry.report import generate_run_report
+
+pytestmark = pytest.mark.telemetry
+
+N_STEPS = 10
+
+
+@pytest.fixture(scope="module")
+def sim():
+    simulation = Simulation(SimulationConfig.small_test())
+    simulation.setup()
+    return simulation
+
+
+@pytest.fixture(scope="module")
+def reference(sim):
+    result = sim.run(mode="STANDARD", n_steps=N_STEPS, drift=False)
+    return result, ReferenceTrajectory.from_result(result)
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    prev = registry.disable()
+    prev_dm = install_drift_monitor(None)
+    set_drift_enabled(None)
+    yield
+    registry.disable()
+    install_drift_monitor(prev_dm)
+    set_drift_enabled(None)
+    if prev is not None:
+        registry.enable(prev)
+
+
+def _tight_budget():
+    # Far below any nonzero relative deviation a BF16 GEMM produces,
+    # yet exactly satisfiable by a bitwise-identical trajectory.
+    return ErrorBudget(per_step=1e-14)
+
+
+class TestAcceptance:
+    def test_bf16_breaches_fp32_does_not(self, sim, reference):
+        _, ref = reference
+
+        bf16 = DriftMonitor(
+            mode="FLOAT_TO_BF16", reference=ref, budget=_tight_budget()
+        )
+        t_bf16 = registry.enable()
+        sim.run(mode="FLOAT_TO_BF16", n_steps=N_STEPS, drift=bf16)
+        registry.disable()
+
+        fp32 = DriftMonitor(mode="STANDARD", reference=ref, budget=_tight_budget())
+        t_fp32 = registry.enable()
+        sim.run(mode="STANDARD", n_steps=N_STEPS, drift=fp32)
+        registry.disable()
+
+        # The BF16 run breached the (deliberately tight) budget...
+        assert bf16.breaches(), bf16.summary()
+        assert t_bf16.counter_total("drift.alerts") >= 1
+        assert any(e["name"] == "drift.alert" for e in t_bf16.events)
+
+        # ...the FP32 re-run of the same trajectory deviates by exactly
+        # zero, so nothing fires even at per_step=1e-14.
+        assert fp32.alerts == [], fp32.summary()
+        assert t_fp32.counter_total("drift.alerts") == 0
+        assert not any(e["name"] == "drift.alert" for e in t_fp32.events)
+        for obs in ("nexc", "javg", "ekin"):
+            assert fp32.deviation_series(obs).max_deviation == 0.0
+
+    def test_bf16_deviations_are_physical_not_wild(self, sim, reference):
+        ref_result, ref = reference
+        dm = DriftMonitor(mode="FLOAT_TO_BF16", reference=ref, budget=_tight_budget())
+        sim.run(mode="FLOAT_TO_BF16", n_steps=N_STEPS, drift=dm)
+        # Nonzero drift, but small relative to the observables — the
+        # paper's "order of 1%" regime, not a blow-up.
+        series = dm.deviation_series("ekin")
+        assert 0.0 < series.max_deviation
+        assert float(np.max(series.relative())) < 0.05
+
+
+class TestPipeline:
+    def test_samples_and_gauges_flow_into_trace(self, sim, reference):
+        _, ref = reference
+        dm = DriftMonitor(mode="FLOAT_TO_BF16", reference=ref, budget=_tight_budget())
+        t = registry.enable()
+        sim.run(mode="FLOAT_TO_BF16", n_steps=N_STEPS, drift=dm)
+        registry.disable()
+        # One sample event per observable per record (N_STEPS + step 0).
+        assert t.counter_value("drift.samples", observable="nexc") == N_STEPS + 1
+        assert t.gauge_value("drift.budget_utilization", observable="nexc") is not None
+        assert t.gauge_value("drift.max_utilization", observable="nexc") is not None
+        assert any(e["name"] == "drift.summary" for e in t.events)
+
+    def test_run_report_shows_breach_and_hot_sites(self, sim, reference):
+        _, ref = reference
+        dm = DriftMonitor(mode="FLOAT_TO_BF16", reference=ref, budget=_tight_budget())
+        t = registry.enable()
+        sim.run(mode="FLOAT_TO_BF16", n_steps=N_STEPS, drift=dm)
+        registry.disable()
+        report = generate_run_report(t)
+        assert "breach" in report
+        # Provenance made it through: the three application anchors
+        # appear as distinct call-site IDs.
+        for anchor in ("nlp_prop", "calc_energy", "remap_occ"):
+            assert f"{anchor}@gemm/" in report
+
+    def test_ambient_monitor_auto_created(self, sim):
+        set_drift_enabled(True)
+        t = registry.enable()
+        result = sim.run(mode="FLOAT_TO_BF16", n_steps=4)
+        registry.disable()
+        set_drift_enabled(None)
+        assert len(result.records) == 5
+        # No reference: samples flow, alerts cannot.
+        assert t.counter_value("drift.samples", observable="nexc") == 5
+        assert t.counter_total("drift.alerts") == 0
+
+    def test_explicit_false_disables_ambient(self, sim):
+        set_drift_enabled(True)
+        t = registry.enable()
+        sim.run(mode="STANDARD", n_steps=2, drift=False)
+        registry.disable()
+        set_drift_enabled(None)
+        assert t.counter_total("drift.samples") == 0
+
+    def test_auto_budget_derived_from_h_nl(self, sim, reference):
+        _, ref = reference
+        dm = DriftMonitor(mode="FLOAT_TO_BF16", reference=ref)  # no budget
+        sim.run(mode="FLOAT_TO_BF16", n_steps=2, drift=dm)
+        assert dm.budget is not None
+        assert dm.budget.per_step > 0

@@ -63,6 +63,57 @@ class TestCheck:
         assert "not found" in capsys.readouterr().err
 
 
+class TestUnusableBaselines:
+    """Missing/corrupt inputs must yield one clear line, not a traceback."""
+
+    def test_missing_floors_file(self, tmp_path, capsys):
+        results, floors = _write(tmp_path)
+        floors.unlink()
+        assert bench.check(results, floors) == 1
+        err = capsys.readouterr().err
+        assert "not found" in err and "Traceback" not in err
+
+    def test_corrupt_results_json(self, tmp_path, capsys):
+        results, floors = _write(tmp_path)
+        results.write_text("{not json")
+        assert bench.check(results, floors) == 1
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err and str(results) in err
+
+    def test_corrupt_floors_json(self, tmp_path, capsys):
+        results, floors = _write(tmp_path)
+        floors.write_text("[1, 2,")
+        assert bench.check(results, floors) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_results_missing_key(self, tmp_path, capsys):
+        results, floors = _write(tmp_path)
+        results.write_text(json.dumps({"wrong": []}))
+        assert bench.check(results, floors) == 1
+        assert "'results'" in capsys.readouterr().err
+
+    def test_floors_missing_key(self, tmp_path, capsys):
+        results, floors = _write(tmp_path)
+        floors.write_text(json.dumps({"wrong": {}}))
+        assert bench.check(results, floors) == 1
+        assert "'floors'" in capsys.readouterr().err
+
+    def test_report_only_warns_and_passes(self, tmp_path, capsys):
+        results, floors = _write(tmp_path)
+        results.write_text("{not json")
+        assert bench.check(results, floors, report_only=True) == 0
+        out = capsys.readouterr()
+        assert "skipped" in out.out
+        assert "warning" in out.err or "warning" in out.out
+
+    def test_report_only_annotates_missing_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("GITHUB_ACTIONS", "true")
+        results, floors = _write(tmp_path)
+        results.unlink()
+        assert bench.check(results, floors, report_only=True) == 0
+        assert "::warning" in capsys.readouterr().out
+
+
 class TestSlack:
     def test_slack_tolerates_shortfall(self, tmp_path):
         # 1.30x against a 1.50x floor: fails dry, passes with 20% slack.

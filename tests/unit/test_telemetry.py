@@ -20,11 +20,14 @@ from repro.blas.verbose import VerboseRecord, emit_call, observing
 from repro.telemetry import registry
 from repro.telemetry.registry import (
     BUCKET_BOUNDS,
+    MAX_EVENTS_ENV,
     Histogram,
     Telemetry,
     active,
     disable,
     enable,
+    format_counter_name,
+    parse_counter_name,
     telemetry,
     telemetry_enabled,
 )
@@ -132,6 +135,65 @@ class TestHistogram:
     def test_bounds_are_sorted(self):
         assert list(BUCKET_BOUNDS) == sorted(BUCKET_BOUNDS)
 
+    def test_round_trip_preserves_every_field(self):
+        h = Histogram()
+        for v in (1e-7, 1e-7, 3e-4, 0.5, 250.0):
+            h.observe(v)
+        d = h.to_dict()
+        h2 = Histogram.from_dict(d)
+        assert h2.to_dict() == d
+        # And the restored histogram keeps accumulating correctly.
+        h2.observe(1.0)
+        assert h2.count == h.count + 1
+        assert h2.max == max(h.max, 1.0)
+
+    def test_from_dict_ignores_unknown_keys(self):
+        d = Histogram().to_dict()
+        d["future_field"] = "whatever"
+        assert Histogram.from_dict(d).count == 0
+
+
+class TestCounterNameRendering:
+    def test_plain_name_round_trip(self):
+        assert format_counter_name("lfd.qd_steps", ()) == "lfd.qd_steps"
+        assert parse_counter_name("lfd.qd_steps") == ("lfd.qd_steps", ())
+
+    def test_labels_render_in_given_order(self):
+        rendered = format_counter_name(
+            "blas.calls", (("mode", "STANDARD"), ("routine", "cgemm"))
+        )
+        assert rendered == "blas.calls{mode=STANDARD,routine=cgemm}"
+
+    def test_collector_sorts_labels_before_rendering(self):
+        t = Telemetry()
+        t.count("c", zebra="1", alpha="2")
+        (flat,) = t.counters_flat()
+        assert flat == "c{alpha=2,zebra=1}"
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "a,b", "a=b", "{curly}", "back\\slash", "all,of={it}\\=",
+            "nlp_prop@gemm/cgemm/32x32x2048",
+        ],
+    )
+    def test_escaping_round_trip(self, value):
+        labels = (("k", value), (value, "v"))
+        name, parsed = parse_counter_name(format_counter_name("n", labels))
+        assert name == "n"
+        assert parsed == labels
+
+    def test_escaped_form_is_unambiguous(self):
+        # Two label sets that would collide unescaped must not collide.
+        a = format_counter_name("n", (("k", "x,y=z"),))
+        b = format_counter_name("n", (("k", "x"), ("y", "z")))
+        assert a != b
+        assert parse_counter_name(a) == ("n", (("k", "x,y=z"),))
+        assert parse_counter_name(b) == ("n", (("k", "x"), ("y", "z")))
+
+    def test_trailing_brace_without_open_is_literal(self):
+        assert parse_counter_name("weird}") == ("weird}", ())
+
 
 class TestSpans:
     def test_span_emits_complete_event_and_histogram(self):
@@ -168,6 +230,32 @@ class TestSpans:
         assert len(t.events) == 5
         assert t.dropped_events == 4
         assert t.snapshot()["dropped_events"] == 4
+        # Drops are first-class data, not a silent cap: the counter
+        # travels with every export.
+        assert t.counter_value("telemetry.events_dropped") == 4
+
+    def test_max_events_env(self, monkeypatch):
+        monkeypatch.setenv(MAX_EVENTS_ENV, "123")
+        assert registry._max_events_from_env() == 123
+        monkeypatch.setenv(MAX_EVENTS_ENV, "not-a-number")
+        assert registry._max_events_from_env() == registry._DEFAULT_MAX_EVENTS
+        monkeypatch.setenv(MAX_EVENTS_ENV, "-5")
+        assert registry._max_events_from_env() == registry._DEFAULT_MAX_EVENTS
+        monkeypatch.delenv(MAX_EVENTS_ENV)
+        assert registry._max_events_from_env() == registry._DEFAULT_MAX_EVENTS
+
+    def test_max_events_env_contract(self):
+        """REPRO_TELEMETRY_MAX_EVENTS caps the buffer at import time."""
+        code = (
+            "from repro.telemetry.registry import MAX_EVENTS; print(MAX_EVENTS)"
+        )
+        env = dict(os.environ, REPRO_TELEMETRY_MAX_EVENTS="7")
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert out.stdout.strip() == "7"
 
 
 class TestBlasStream:

@@ -1,0 +1,269 @@
+"""Unit tests for :mod:`repro.telemetry.drift`.
+
+Covers the budget envelope math, reference-trajectory lookups, the
+monitor's sample/alert semantics (warn at 80 %, breach at 100 %, each
+fired once), the telemetry integration (gauges, counters, events) and
+the ambient installation lifecycle.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.telemetry import registry
+from repro.telemetry.drift import (
+    DRIFT_ENV,
+    DriftMonitor,
+    ErrorBudget,
+    ReferenceTrajectory,
+    active_drift_monitor,
+    drift_enabled,
+    drift_monitoring,
+    install_drift_monitor,
+    set_drift_enabled,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    prev = registry.disable()
+    prev_dm = install_drift_monitor(None)
+    set_drift_enabled(None)
+    yield
+    registry.disable()
+    install_drift_monitor(prev_dm)
+    set_drift_enabled(None)
+    if prev is not None:
+        registry.enable(prev)
+
+
+@dataclasses.dataclass
+class FakeRecord:
+    step: int
+    time_fs: float
+    nexc: float
+    javg: float
+    ekin: float
+
+
+def _record(step, nexc=1.0, javg=2.0, ekin=3.0):
+    return FakeRecord(step=step, time_fs=step * 0.1, nexc=nexc, javg=javg, ekin=ekin)
+
+
+def _reference(n=8):
+    return ReferenceTrajectory.from_records([_record(i) for i in range(n)])
+
+
+class TestErrorBudget:
+    def test_envelope_grows_with_step(self):
+        b = ErrorBudget(per_step=1e-3, exponent=1.0, headroom=2.0)
+        assert b.envelope(0) == 0.0
+        assert b.envelope(1) == pytest.approx(2e-3)
+        assert b.envelope(10) == pytest.approx(2e-2)
+
+    def test_random_walk_exponent(self):
+        b = ErrorBudget(per_step=1e-3, exponent=0.5)
+        assert b.envelope(100) == pytest.approx(1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorBudget(per_step=-1.0)
+        with pytest.raises(ValueError):
+            ErrorBudget(per_step=1.0, headroom=0.0)
+
+    def test_for_mode_matches_analytic_bound(self):
+        from repro.blas.modes import ComputeMode
+        from repro.core.error_budget import per_step_state_error
+
+        b = ErrorBudget.for_mode("FLOAT_TO_BF16", dt=0.02, h_nl_norm=3.0)
+        expected = per_step_state_error(ComputeMode.FLOAT_TO_BF16, 0.02, 3.0)
+        assert b.per_step == pytest.approx(expected)
+        assert b.envelope(1) == pytest.approx(expected)
+
+    def test_from_fit(self):
+        from repro.core.error_budget import DriftFit
+
+        fit = DriftFit(amplitude=1e-5, exponent=0.7, r_squared=0.99)
+        b = ErrorBudget.from_fit(fit, headroom=3.0)
+        assert b.envelope(10) == pytest.approx(3.0 * 1e-5 * 10**0.7)
+
+
+class TestReferenceTrajectory:
+    def test_lookup_by_step(self):
+        ref = _reference()
+        assert ref.value("nexc", 3) == 1.0
+        assert ref.value("ekin", 0) == 3.0
+
+    def test_unknown_step_or_observable(self):
+        ref = _reference(4)
+        assert ref.value("nexc", 99) is None
+        assert ref.value("nope", 1) is None
+
+    def test_from_result_uses_columns(self):
+        class FakeResult:
+            def column(self, name):
+                if name == "step":
+                    return np.arange(5)
+                return np.full(5, {"nexc": 1.0, "javg": 2.0, "ekin": 3.0}[name])
+
+        ref = ReferenceTrajectory.from_result(FakeResult())
+        assert len(ref) == 5
+        assert ref.value("javg", 4) == 2.0
+
+
+class TestMonitorSampling:
+    def test_without_reference_no_alerts(self):
+        dm = DriftMonitor(mode="FLOAT_TO_BF16")
+        for i in range(5):
+            assert dm.observe(_record(i)) == []
+        assert dm.alerts == []
+        assert len(dm.samples["nexc"]) == 5
+        assert dm.samples["nexc"][0].deviation is None
+
+    def test_zero_deviation_never_alerts(self):
+        dm = DriftMonitor(
+            reference=_reference(),
+            budget=ErrorBudget(per_step=1e-300),  # absurdly tight
+        )
+        for i in range(8):
+            dm.observe(_record(i))  # identical to the reference
+        assert dm.alerts == []
+        assert dm.samples["nexc"][3].utilization == 0.0
+
+    def test_warn_then_breach_each_fire_once(self):
+        budget = ErrorBudget(per_step=0.1, exponent=0.0)  # flat envelope 0.1
+        dm = DriftMonitor(reference=_reference(), budget=budget)
+        dm.observe(_record(0))
+        # relative deviation on nexc (ref 1.0): 0.05 -> 50%: quiet.
+        assert dm.observe(_record(1, nexc=1.05)) == []
+        # 0.09 -> 90%: warn fires, once, for nexc only.
+        (alert,) = dm.observe(_record(2, nexc=1.09))
+        assert (alert.level, alert.observable, alert.step) == ("warn", "nexc", 2)
+        assert dm.observe(_record(3, nexc=1.085)) == []
+        # 0.2 -> 200%: breach fires once; warn does not re-fire.
+        (alert,) = dm.observe(_record(4, nexc=1.2))
+        assert alert.level == "breach"
+        assert dm.observe(_record(5, nexc=1.5)) == []
+        assert [a.level for a in dm.alerts] == ["warn", "breach"]
+        assert [a.level for a in dm.breaches()] == ["breach"]
+        assert [a.level for a in dm.warnings()] == ["warn"]
+
+    def test_each_observable_alerts_independently(self):
+        budget = ErrorBudget(per_step=0.01, exponent=0.0)
+        dm = DriftMonitor(reference=_reference(), budget=budget)
+        dm.observe(_record(1, nexc=2.0))   # nexc blows the budget
+        dm.observe(_record(2, ekin=30.0))  # so does ekin, separately
+        levels = {(a.observable, a.level) for a in dm.alerts}
+        assert ("nexc", "breach") in levels
+        assert ("ekin", "breach") in levels
+        assert not any(obs == "javg" for obs, _ in levels)
+
+    def test_note_qd_step_counts(self):
+        dm = DriftMonitor()
+        for t in (0.0, 0.02, 0.04):
+            dm.note_qd_step(t)
+        assert dm.qd_steps == 3
+
+
+class TestTelemetryIntegration:
+    def test_gauges_counters_events(self):
+        t = registry.enable()
+        budget = ErrorBudget(per_step=0.1, exponent=0.0)
+        dm = DriftMonitor(mode="FLOAT_TO_BF16", reference=_reference(), budget=budget)
+        dm.observe(_record(1, nexc=1.2))
+        assert t.counter_value("drift.samples", observable="nexc") == 1
+        assert t.counter_value("drift.alerts", observable="nexc", level="breach") == 1
+        assert t.gauge_value("drift.budget_utilization", observable="nexc") == (
+            pytest.approx(2.0)
+        )
+        names = [e["name"] for e in t.events]
+        assert "drift.sample" in names
+        assert "drift.alert" in names
+
+    def test_finalize_publishes_summary(self):
+        t = registry.enable()
+        dm = DriftMonitor(reference=_reference(), budget=ErrorBudget(per_step=1.0))
+        for i in range(6):
+            dm.observe(_record(i, nexc=1.0 + 1e-3 * i))
+        summary = dm.finalize()
+        assert summary["observables"]["nexc"]["samples"] == 6
+        assert summary["observables"]["nexc"]["max_utilization"] is not None
+        assert any(e["name"] == "drift.summary" for e in t.events)
+        assert t.gauge_value("drift.max_utilization", observable="nexc") is not None
+
+    def test_monitor_works_without_collector(self):
+        dm = DriftMonitor(reference=_reference(), budget=ErrorBudget(per_step=1e-6))
+        dm.observe(_record(1, nexc=2.0))
+        assert dm.breaches()
+        assert dm.finalize()["alerts"]
+
+
+class TestOfflineViews:
+    def test_deviation_series_round_trip(self):
+        from repro.core.deviation import DeviationSeries
+
+        dm = DriftMonitor(mode=None, reference=_reference())
+        for i in range(5):
+            dm.observe(_record(i, nexc=1.0 + 0.01 * i))
+        series = dm.deviation_series("nexc")
+        assert isinstance(series, DeviationSeries)
+        assert series.final_deviation == pytest.approx(0.04)
+        with pytest.raises(ValueError):
+            DriftMonitor().deviation_series("nexc")
+
+    def test_fit_needs_enough_samples(self):
+        dm = DriftMonitor(reference=_reference())
+        dm.observe(_record(0))
+        assert dm.fit("nexc") is None
+        for i in range(1, 7):
+            dm.observe(_record(i, nexc=1.0 + 1e-3 * i))
+        fit = dm.fit("nexc")
+        assert fit is not None and fit.exponent == pytest.approx(1.0, abs=0.2)
+
+
+class TestAmbient:
+    def test_install_and_scope(self):
+        assert active_drift_monitor() is None
+        with drift_monitoring(reference=_reference()) as dm:
+            assert active_drift_monitor() is dm
+        assert active_drift_monitor() is None
+
+    def test_enable_override_and_env(self, monkeypatch):
+        assert not drift_enabled()
+        set_drift_enabled(True)
+        assert drift_enabled()
+        set_drift_enabled(None)
+        monkeypatch.setenv(DRIFT_ENV, "1")
+        assert drift_enabled()
+        monkeypatch.setenv(DRIFT_ENV, "0")
+        assert not drift_enabled()
+        # Explicit override beats the environment.
+        set_drift_enabled(True)
+        assert drift_enabled()
+
+    def test_propagator_ticks_ambient_monitor(self):
+        from repro.dcmesh.laser import LaserPulse
+        from repro.dcmesh.mesh import Mesh
+        from repro.dcmesh.nlp import NonlocalPropagator
+        from repro.dcmesh.propagate import LFDPropagator
+
+        mesh = Mesh((4, 4, 4), (8.0, 8.0, 8.0))
+        n_orb = 2
+        rng = np.random.default_rng(0)
+        psi0 = (
+            rng.standard_normal((mesh.n_grid, n_orb))
+            + 1j * rng.standard_normal((mesh.n_grid, n_orb))
+        ).astype(np.complex64)
+        h_nl = np.zeros((n_orb, n_orb), dtype=np.complex128)
+        nlp = NonlocalPropagator(psi0, h_nl, 0.02, mesh)
+        prop = LFDPropagator(
+            mesh, np.zeros(mesh.n_grid), nlp, LaserPulse(), 0.02,
+            storage_dtype=np.complex64,
+        )
+        with drift_monitoring() as dm:
+            psi = prop.step(psi0.copy(), 0.0)
+            prop.step(psi, 0.02)
+        assert dm.qd_steps == 2

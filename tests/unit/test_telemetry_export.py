@@ -130,9 +130,9 @@ class TestSummary:
 
 
 class TestExportAll:
-    def test_writes_all_three_artifacts(self, tmp_path):
+    def test_writes_all_artifacts(self, tmp_path):
         paths = export_all(_populated_collector(), tmp_path / "out")
-        assert sorted(paths) == ["chrome", "jsonl", "summary"]
+        assert sorted(paths) == ["chrome", "jsonl", "report", "summary"]
         for path in paths.values():
             assert path.is_file()
             assert path.stat().st_size > 0

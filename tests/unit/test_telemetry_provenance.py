@@ -1,0 +1,174 @@
+"""Unit tests for :mod:`repro.telemetry.provenance`.
+
+Covers the stable call-site ID derivation (pow2 shape classes), the
+interning registry, the thread-local ``site_scope`` propagation, and
+the end-to-end wiring: a GEMM under an installed collector produces
+``blas.site.*`` counters and kernel counters labelled with its ID.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.telemetry import registry
+from repro.telemetry.provenance import (
+    CallSite,
+    all_sites,
+    call_site_id,
+    clear_sites,
+    current_site_id,
+    lookup_site,
+    register_call_site,
+    shape_class,
+    site_scope,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    clear_sites()
+    prev = registry.disable()
+    yield
+    registry.disable()
+    clear_sites()
+    if prev is not None:
+        registry.enable(prev)
+
+
+class TestShapeClass:
+    @pytest.mark.parametrize(
+        "dims,expected",
+        [
+            ((1, 1, 1), "1x1x1"),
+            ((2, 2, 2), "2x2x2"),
+            ((3, 5, 9), "4x8x16"),
+            ((16, 16, 65536), "16x16x65536"),
+            ((17, 16, 1000), "32x16x1024"),
+        ],
+    )
+    def test_pow2_buckets(self, dims, expected):
+        assert shape_class(*dims) == expected
+
+    def test_batch_suffix_only_when_batched(self):
+        assert shape_class(4, 4, 4, batch=1) == "4x4x4"
+        assert shape_class(4, 4, 4, batch=6) == "4x4x4b8"
+
+    def test_stable_within_bucket(self):
+        # The whole point: small lattice-size changes keep the ID.
+        assert shape_class(24, 24, 1728) == shape_class(20, 17, 1100)
+
+
+class TestCallSiteId:
+    def test_format(self):
+        sid = call_site_id("nlp_prop", "gemm", "cgemm", 24, 24, 1728)
+        assert sid == "nlp_prop@gemm/cgemm/32x32x2048"
+
+    def test_unlabeled_anchor_renders_dash(self):
+        assert call_site_id("", "gemm", "sgemm", 2, 2, 2).startswith("-@")
+
+    def test_deterministic(self):
+        args = ("calc_energy", "gemm_batch", "cgemm", 8, 8, 512, 4)
+        assert call_site_id(*args) == call_site_id(*args)
+
+
+class TestRegistry:
+    def test_register_interns_first_seen_dims(self):
+        sid = register_call_site("nlp_prop", "gemm", "cgemm", 24, 24, 1728)
+        site = lookup_site(sid)
+        assert isinstance(site, CallSite)
+        assert (site.m, site.n, site.k) == (24, 24, 1728)
+        # Same bucket, different exact dims: no overwrite.
+        assert register_call_site("nlp_prop", "gemm", "cgemm", 20, 20, 1500) == sid
+        assert lookup_site(sid).k == 1728
+
+    def test_all_sites_sorted(self):
+        register_call_site("b", "gemm", "sgemm", 2, 2, 2)
+        register_call_site("a", "gemm", "sgemm", 2, 2, 2)
+        ids = [s.site_id for s in all_sites()]
+        assert ids == sorted(ids)
+
+    def test_clear(self):
+        register_call_site("x", "gemm", "sgemm", 2, 2, 2)
+        clear_sites()
+        assert all_sites() == []
+
+
+class TestSiteScope:
+    def test_default_is_empty(self):
+        assert current_site_id() == ""
+
+    def test_scope_sets_and_restores(self):
+        with site_scope("outer"):
+            assert current_site_id() == "outer"
+            with site_scope("inner"):
+                assert current_site_id() == "inner"
+            assert current_site_id() == "outer"
+        assert current_site_id() == ""
+
+    def test_thread_isolation(self):
+        seen = {}
+
+        def worker():
+            seen["worker"] = current_site_id()
+
+        with site_scope("main-thread"):
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        assert seen["worker"] == ""
+
+
+class TestGemmWiring:
+    def test_gemm_registers_site_and_counts(self):
+        from repro.blas.gemm import call_site, cgemm
+
+        t = registry.enable()
+        rng = np.random.default_rng(0)
+        a = (rng.standard_normal((4, 4)) + 0j).astype(np.complex64)
+        with call_site("nlp_prop"):
+            cgemm(a, a)
+        sid = "nlp_prop@gemm/cgemm/4x4x4"
+        assert lookup_site(sid) is not None
+        assert t.counter_value("blas.site.calls", site_id=sid) == 1
+        assert t.counter_value("blas.site.flops", site_id=sid) == 8 * 4 * 4 * 4
+        # The unified event stream carries the ID too.
+        (rec,) = t.verbose_records()
+        assert rec.site_id == sid
+
+    def test_gemm_batch_site_carries_batch_class(self):
+        from repro.blas.batch import gemm_batch
+
+        t = registry.enable()
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 2, 2)).astype(np.float32)
+        gemm_batch(a, a)
+        (sid,) = [s.site_id for s in all_sites()]
+        assert sid == "-@gemm_batch/sgemm/2x2x2b4"
+        assert t.counter_value("blas.site.calls", site_id=sid) == 1
+
+    def test_disabled_path_registers_nothing(self):
+        from repro.blas.gemm import cgemm
+
+        a = np.eye(4, dtype=np.complex64)
+        cgemm(a, a)
+        assert all_sites() == []
+
+    def test_kernel_counters_carry_site_label(self):
+        from repro.blas.gemm import call_site, cgemm
+
+        t = registry.enable()
+        rng = np.random.default_rng(1)
+        a = (rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))).astype(
+            np.complex64
+        )
+        with call_site("calc_energy"):
+            cgemm(a, a, mode="FLOAT_TO_BF16")
+        sid = "calc_energy@gemm/cgemm/8x8x8"
+        # The split engine ran inside the site scope: its counter is
+        # attributed to the triggering BLAS call.
+        assert t.counter_value(
+            "blas.split_gemm_fused", precision="BF16", n_terms=1, site=sid
+        ) >= 1

@@ -1,0 +1,130 @@
+"""Unit tests for :mod:`repro.telemetry.report` and its CLI wrapper.
+
+The report must render the same content from a live collector and
+from a ``trace.jsonl`` round trip (the offline path), degrade
+gracefully on partial/empty data, and surface the three load-bearing
+sections: drift vs budget, per-site hot table, alert list.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import registry
+from repro.telemetry.exporters import export_all, write_jsonl
+from repro.telemetry.report import (
+    data_from_collector,
+    generate_run_report,
+    render_run_report,
+)
+
+pytestmark = pytest.mark.telemetry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    prev = registry.disable()
+    yield
+    registry.disable()
+    if prev is not None:
+        registry.enable(prev)
+
+
+def _populated() -> registry.Telemetry:
+    t = registry.Telemetry()
+    sid = "nlp_prop@gemm/cgemm/32x32x2048"
+    t.count("blas.site.calls", 3, site_id=sid)
+    t.count("blas.site.flops", 3e9, site_id=sid)
+    t.count("blas.site.bytes", 1e6, site_id=sid)
+    t.count("blas.site.seconds", 0.5, site_id=sid)
+    t.count("blas.calls", 3, routine="cgemm", site="nlp_prop", mode="STANDARD")
+    t.gauge("drift.budget_utilization", 1.25, observable="nexc")
+    t.gauge("drift.max_utilization", 1.25, observable="nexc")
+    t.instant(
+        "drift.sample", cat="drift", observable="nexc", step=1, value=1.0,
+        utilization=1.25,
+    )
+    t.instant(
+        "drift.alert", cat="drift", level="breach", observable="nexc", step=1,
+        utilization=1.25, relative=1e-4, envelope=8e-5,
+    )
+    with t.span("qd_step", cat="lfd"):
+        pass
+    return t
+
+
+class TestRender:
+    def test_sections_present(self):
+        text = render_run_report(data_from_collector(_populated()))
+        assert "# Run report" in text
+        assert "## Observable drift vs error budget" in text
+        assert "## BLAS hot call sites" in text
+        assert "`nlp_prop@gemm/cgemm/32x32x2048`" in text
+        assert "breach" in text
+        assert "qd_step" in text
+
+    def test_empty_collector_renders_placeholders(self):
+        text = render_run_report(data_from_collector(registry.Telemetry()))
+        assert "No drift monitoring" in text
+        assert "No per-site BLAS data" in text
+        assert "No span timings" in text
+
+    def test_empty_dict_renders(self):
+        assert "# Run report" in render_run_report({})
+
+    def test_dropped_events_warning(self):
+        data = data_from_collector(registry.Telemetry())
+        data["meta"]["dropped_events"] = 12
+        assert "REPRO_TELEMETRY_MAX_EVENTS" in render_run_report(data)
+
+
+class TestOfflinePath:
+    def test_jsonl_round_trip_matches_live(self, tmp_path):
+        t = _populated()
+        live = generate_run_report(t)
+        path = write_jsonl(t, tmp_path / "trace.jsonl")
+        offline = generate_run_report(path)
+        # Timestamps in the header may differ; the content body must not.
+        assert live.split("\n", 3)[3] == offline.split("\n", 3)[3]
+
+    def test_generate_writes_file(self, tmp_path):
+        out = tmp_path / "nested" / "run_report.md"
+        text = generate_run_report(data_from_collector(_populated()), out_path=out)
+        assert out.read_text().strip() == text.strip()
+
+    def test_export_all_includes_report(self, tmp_path):
+        paths = export_all(_populated(), tmp_path)
+        report = paths["report"].read_text()
+        assert "BLAS hot call sites" in report
+
+
+class TestScript:
+    def _load(self):
+        spec = importlib.util.spec_from_file_location(
+            "make_run_report", REPO_ROOT / "scripts" / "make_run_report.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        sys.modules["make_run_report"] = mod
+        spec.loader.exec_module(mod)
+        return mod
+
+    def test_writes_next_to_trace(self, tmp_path, capsys):
+        trace = write_jsonl(_populated(), tmp_path / "trace.jsonl")
+        mod = self._load()
+        assert mod.main([str(trace)]) == 0
+        assert (tmp_path / "run_report.md").is_file()
+
+    def test_stdout_mode(self, tmp_path, capsys):
+        trace = write_jsonl(_populated(), tmp_path / "trace.jsonl")
+        mod = self._load()
+        assert mod.main([str(trace), "-o", "-"]) == 0
+        assert "# Run report" in capsys.readouterr().out
+
+    def test_missing_trace_fails_cleanly(self, tmp_path, capsys):
+        mod = self._load()
+        assert mod.main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "not found" in capsys.readouterr().err
