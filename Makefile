@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast lint ci bench bench-split bench-telemetry repro report claims examples clean
+.PHONY: install test test-fast lint ci bench bench-split bench-telemetry bench-adaptive repro report claims examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -35,6 +35,9 @@ bench-split:
 
 bench-telemetry:
 	$(PYTHON) -m pytest benchmarks/test_telemetry_overhead.py -q -p no:cacheprovider
+
+bench-adaptive:
+	$(PYTHON) -m pytest benchmarks/test_adaptive_sched.py -q -p no:cacheprovider
 
 repro:
 	$(PYTHON) -m repro.experiments.runner all --output repro_output/

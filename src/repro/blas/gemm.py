@@ -30,6 +30,7 @@ import numpy as np
 from repro.blas.complex3m import gemm_3m_planned, gemm_4m_split_planned
 from repro.blas.modes import ComputeMode, resolve_mode
 from repro.blas.plan import OrientedOperand, PreparedOperand, operand_handle
+from repro.blas.policy import active_policy
 from repro.blas.rounding import round_to_precision
 from repro.blas.verbose import VerboseRecord, emit_call, observing
 from repro.blas.workspace import split_gemm_fused
@@ -272,8 +273,6 @@ def gemm(
     # the paper's env-var method cannot express (Section IV-D).
     effective = None
     if mode is None:
-        from repro.blas.policy import active_policy
-
         policy = active_policy()
         if policy is not None:
             effective = policy.mode_for(_current_site())

@@ -43,7 +43,7 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.blas.rounding import split_terms
+from repro.blas.rounding import extend_split, split_terms_residual
 from repro.telemetry.provenance import current_site_id as _current_site_id
 from repro.telemetry.registry import active as _telemetry_active
 
@@ -88,6 +88,12 @@ def _fingerprint_array(x: np.ndarray) -> bytes:
     return h.digest()
 
 
+def _split_mode_label(keep_bits: int, n_terms: int) -> str:
+    """Human-readable label for a split's precision family (counters)."""
+    base = {7: "bf16", 10: "tf32"}.get(keep_bits, f"kb{keep_bits}")
+    return base if n_terms == 1 else f"{base}x{n_terms}"
+
+
 def _oriented(x: np.ndarray, trans: str) -> np.ndarray:
     """Apply a BLAS trans flag to the last two axes (view, no copy)."""
     if trans == "N":
@@ -124,7 +130,7 @@ class PreparedOperand:
         """Drop all cached derived forms (call after mutating the array)."""
         t = _telemetry_active()
         if t is not None:
-            t.count("blas.plan.invalidations")
+            t.count("blas.plan.invalidated")
         with self._lock:
             self._derived.clear()
             self._fingerprint = None
@@ -233,17 +239,67 @@ class PreparedOperand:
         ``part=None`` splits the (real) operand itself; ``'re'``/``'im'``
         split the complex decomposition's parts.  Each ``stack[i]`` is a
         contiguous view bit-identical to ``split_terms(...)[i]``.
+
+        Splits of the same operand at different term counts share work:
+        because term ``i`` of a split depends only on the running
+        residual (prefix property, see
+        :func:`repro.blas.rounding.split_terms_residual`), a request for
+        ``n`` terms when a ``k < n``-term split is already cached only
+        computes the ``n - k`` missing terms from the cached residual —
+        the path a precision escalation (BF16 → BF16X2/X3) takes, so a
+        mode switch never re-prepares the whole operand.  Extension is
+        bitwise-exact: the FP32 rounding/subtraction sequence is the
+        same one a from-scratch split would run.
         """
         key = ("split", trans, keep_bits, n_terms, part)
+        t = _telemetry_active()
+        got = self._derived.get(key)
+        if got is not None:
+            if t is not None:
+                t.count(
+                    "blas.plan.split",
+                    result="hit",
+                    mode=_split_mode_label(keep_bits, n_terms),
+                    site=_current_site_id() or "-",
+                )
+            return got
 
-        def build():
+        # Cache miss: extend the widest cached shorter split (needs its
+        # residual) before falling back to a from-scratch decomposition.
+        prev_stack = prev_resid = None
+        prev_n = 0
+        for n in range(n_terms - 1, 0, -1):
+            resid = self._derived.get(("split_resid", trans, keep_bits, n, part))
+            stack = self._derived.get(("split", trans, keep_bits, n, part))
+            if resid is not None and stack is not None:
+                prev_stack, prev_resid, prev_n = stack, resid, n
+                break
+        if prev_stack is not None:
+            terms, residual = extend_split(
+                tuple(prev_stack), prev_resid, keep_bits, n_terms - prev_n
+            )
+            result = "extend"
+        else:
             if part is None:
                 base = self.oriented(trans, np.float32)
             else:
                 base = self.part(trans, np.dtype(dtype or np.complex64), part)
-            return np.stack(split_terms(base, keep_bits, n_terms))
-
-        return self._derive(key, build)
+            terms, residual = split_terms_residual(base, keep_bits, n_terms)
+            result = "full"
+        if t is not None:
+            t.count(
+                "blas.plan.split",
+                result=result,
+                mode=_split_mode_label(keep_bits, n_terms),
+                site=_current_site_id() or "-",
+            )
+        built = np.stack(terms)
+        with self._lock:
+            got = self._derived.setdefault(key, built)
+            self._derived.setdefault(
+                ("split_resid", trans, keep_bits, n_terms, part), residual
+            )
+        return got
 
     def is_finite(self) -> bool:
         """Memoised ``np.isfinite(A).all()`` (the opt-in input check)."""

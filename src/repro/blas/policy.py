@@ -31,7 +31,7 @@ from typing import Dict, Iterator, Optional, Union
 
 from repro.blas.modes import ComputeMode
 
-__all__ = ["SitePolicy", "active_policy"]
+__all__ = ["SitePolicy", "AdaptiveSitePolicy", "active_policy"]
 
 _state = threading.local()
 
@@ -79,6 +79,51 @@ class SitePolicy:
         parts = ", ".join(f"{s}={m.env_value}" for s, m in self._modes.items())
         dflt = "" if self._default is None else f", default={self._default.env_value}"
         return f"SitePolicy({parts}{dflt})"
+
+
+class AdaptiveSitePolicy(SitePolicy):
+    """Mutable site policy driven by a controller between steps.
+
+    The GEMM fast path reads the policy once per call
+    (``policy.mode_for(site)``), so mutation must be cheap *and* safe
+    against concurrent readers.  ``set_mode`` therefore never edits the
+    mapping in place — it publishes a fresh dict in one reference
+    assignment (atomic under CPython), so a reader observes either the
+    old or the new mapping, never a half-written one.  No lock is taken
+    on the read path; the write path serialises writers only.
+
+    The controller (:class:`repro.core.scheduler.AdaptiveScheduler`)
+    mutates this object only at QD-step / SCF boundaries; the hot loop
+    between boundaries sees a frozen mapping.
+    """
+
+    def __init__(
+        self,
+        site_modes: Dict[str, Union[str, ComputeMode]],
+        default: Union[str, ComputeMode, None] = None,
+    ):
+        super().__init__(site_modes, default)
+        self._write_lock = threading.Lock()
+
+    def set_mode(self, site: str, mode: Union[str, ComputeMode]) -> None:
+        """Publish a new mode for ``site`` (atomic dict replacement)."""
+        parsed = ComputeMode.parse(mode)
+        with self._write_lock:
+            modes = dict(self._modes)
+            modes[str(site)] = parsed
+            self._modes = modes
+
+    def set_default(self, mode: Union[str, ComputeMode, None]) -> None:
+        """Publish a new fallback mode for unmapped sites."""
+        with self._write_lock:
+            self._default = None if mode is None else ComputeMode.parse(mode)
+
+    def snapshot(self) -> Dict[str, ComputeMode]:
+        """Point-in-time copy of the site → mode mapping."""
+        return dict(self._modes)
+
+    def __repr__(self) -> str:
+        return "Adaptive" + super().__repr__()
 
 
 def active_policy() -> Optional[SitePolicy]:

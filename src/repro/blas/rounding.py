@@ -31,6 +31,8 @@ __all__ = [
     "round_fp32_to_tf32",
     "round_to_precision",
     "split_terms",
+    "split_terms_residual",
+    "extend_split",
     "split_bf16",
     "split_tf32",
     "max_relative_error",
@@ -128,6 +130,54 @@ def split_terms(x: np.ndarray, keep_bits: int, n_terms: int) -> Tuple[np.ndarray
         terms.append(t)
         residual = residual - t
     return tuple(terms)
+
+
+def split_terms_residual(
+    x: np.ndarray, keep_bits: int, n_terms: int
+) -> Tuple[Tuple[np.ndarray, ...], np.ndarray]:
+    """Like :func:`split_terms` but also return the final FP32 residual.
+
+    The residual after ``n`` terms is the exact starting point for term
+    ``n + 1``: because each term depends only on the running residual,
+    the first ``n`` terms of an ``(n + k)``-term split are bitwise equal
+    to the ``n``-term split.  Caching ``(terms, residual)`` therefore
+    lets a precision escalation extend an existing split incrementally
+    (one extra rounding + subtraction) instead of recomputing every
+    term from scratch — see :meth:`repro.blas.plan.PreparedOperand`.
+    """
+    if n_terms < 1:
+        raise ValueError(f"n_terms must be >= 1, got {n_terms}")
+    residual = np.ascontiguousarray(x, dtype=np.float32)
+    terms = []
+    for _ in range(n_terms):
+        t = round_mantissa(residual, keep_bits)
+        terms.append(t)
+        residual = residual - t
+    return tuple(terms), residual
+
+
+def extend_split(
+    terms: Tuple[np.ndarray, ...],
+    residual: np.ndarray,
+    keep_bits: int,
+    extra_terms: int,
+) -> Tuple[Tuple[np.ndarray, ...], np.ndarray]:
+    """Append ``extra_terms`` more components to an existing split.
+
+    ``terms``/``residual`` must come from :func:`split_terms_residual`
+    with the same ``keep_bits``.  The returned terms are bitwise
+    identical to a from-scratch ``split_terms_residual`` of the
+    original array with ``len(terms) + extra_terms`` terms (prefix
+    property: the FP32 subtraction sequence is unchanged).
+    """
+    if extra_terms < 1:
+        raise ValueError(f"extra_terms must be >= 1, got {extra_terms}")
+    out = list(terms)
+    for _ in range(extra_terms):
+        t = round_mantissa(residual, keep_bits)
+        out.append(t)
+        residual = residual - t
+    return tuple(out), residual
 
 
 def split_bf16(x: np.ndarray, n_terms: int) -> Tuple[np.ndarray, ...]:

@@ -181,6 +181,11 @@ class SimulationResult:
     wall_seconds: float
     device: Optional[object] = None  #: repro.gpu.Device if one was attached
     final_psi: Optional[np.ndarray] = None  #: LFD state at the last step
+    #: The :class:`repro.core.scheduler.AdaptiveScheduler` that drove
+    #: the run, when one was attached (its ``summary()`` holds the
+    #: mode-switch timeline).  Typed loosely: ``repro.core`` imports
+    #: this module, so the scheduler class is only imported lazily.
+    scheduler: Optional[object] = None
 
     def final_gram_error(self) -> float:
         """Max |Psi^H Psi dV - I| of the final state — the truncation
@@ -263,6 +268,7 @@ class Simulation:
         resume_from=None,
         diagnostics=None,
         drift: Union[bool, DriftMonitor, None] = None,
+        adaptive: Union[bool, "AdaptiveScheduler", None] = None,  # noqa: F821
     ) -> SimulationResult:
         """Run the MD loop for ``n_steps`` QD steps (default: config).
 
@@ -286,6 +292,18 @@ class Simulation:
         to follow the ambient installation (``REPRO_DRIFT=1`` /
         ``runner --drift-budget``).  An auto-created monitor derives
         its budget from the first SCF block's ``||H_nl||``.
+
+        ``adaptive`` attaches an
+        :class:`~repro.core.scheduler.AdaptiveScheduler`: pass a
+        configured scheduler, ``True`` to auto-create one with default
+        tuning, ``False`` to force it off, or leave ``None`` to follow
+        the ambient request (``REPRO_ADAPTIVE=1`` / ``runner
+        --adaptive``).  The scheduler needs the drift monitor's
+        utilization signal, so a monitor is auto-created when adaptive
+        is on; the monitor's budget then comes from the scheduler's
+        ``budget_mode`` (the fixed accuracy contract), not from the
+        run's nominal mode.  ``mode`` and an unclamped scheduler are
+        mutually exclusive — the scheduler owns the per-site modes.
         """
         cfg = self.config
         ground = self.setup()
@@ -301,15 +319,43 @@ class Simulation:
         )
         solver = SCFSolver(mesh, material, self._solver.projectors, cfg.scf)
         effective_mode = resolve_mode(mode)
+        # Adaptive scheduler: explicit > explicit off > ambient request
+        # (REPRO_ADAPTIVE / runner --adaptive).  Lazy import — the
+        # scheduler lives in repro.core, which imports this module.
+        from repro.core.scheduler import AdaptiveScheduler, adaptive_enabled
+
+        if isinstance(adaptive, AdaptiveScheduler):
+            sched = adaptive
+        elif adaptive is False:
+            sched = None
+        else:
+            # The ambient request only captures mode-free runs: the
+            # static sweeps pass mode= explicitly by design, and those
+            # must stay static even under REPRO_ADAPTIVE=1.
+            sched = (
+                AdaptiveScheduler()
+                if (adaptive is True or (adaptive_enabled() and mode is None))
+                else None
+            )
+        if sched is not None and sched.clamp is None and mode is not None:
+            raise ValueError(
+                "mode= and an unclamped adaptive scheduler are mutually "
+                "exclusive (the scheduler owns the per-site modes); use "
+                "AdaptiveScheduler(clamp=mode) for a pinned run"
+            )
         # Drift observatory: explicit monitor > explicit off > ambient
         # installation (REPRO_DRIFT / --drift-budget auto-creates one).
+        # The scheduler consumes the monitor's utilization signal, so
+        # adaptive runs always carry a monitor.
         if isinstance(drift, DriftMonitor):
             dm = drift
         elif drift is False:
             dm = None
         else:
             dm = active_drift_monitor()
-            if dm is None and (drift is True or drift_enabled()):
+            if dm is None and (
+                drift is True or drift_enabled() or sched is not None
+            ):
                 dm = DriftMonitor(mode=effective_mode)
         if dm is not None and dm.mode is None:
             dm.mode = effective_mode
@@ -417,7 +463,12 @@ class Simulation:
             if dm is not None and active_drift_monitor() is not dm
             else contextlib.nullcontext()
         )
-        with dm_scope, use_device(self.device):
+        # The scheduler's policy resolves ahead of the compute_mode
+        # context (per-call priority: explicit > policy > context), so
+        # installing both keeps the FP64 phase's behaviour intact while
+        # the scheduler owns the labelled LFD sites.
+        sched_scope = sched.scope() if sched is not None else contextlib.nullcontext()
+        with dm_scope, use_device(self.device), sched_scope:
             with compute_mode(effective_mode):
                 remaining = total - step
                 while remaining > 0:
@@ -434,9 +485,20 @@ class Simulation:
                         psi0.astype(np.complex128)
                     )
                     if dm is not None and dm.budget is None:
-                        dm.set_budget_for_mode(
-                            effective_mode, cfg.dt, float(np.linalg.norm(h_nl_sub))
-                        )
+                        if sched is not None and sched.clamp is None:
+                            # Adaptive runs police a *fixed* contract:
+                            # the scheduler's budget_mode envelope, not
+                            # whatever mode is currently active.
+                            dm.set_budget_for_mode(
+                                sched.budget_mode,
+                                cfg.dt,
+                                float(np.linalg.norm(h_nl_sub)),
+                                headroom=sched.config.budget_headroom,
+                            )
+                        else:
+                            dm.set_budget_for_mode(
+                                effective_mode, cfg.dt, float(np.linalg.norm(h_nl_sub))
+                            )
                     nlp = NonlocalPropagator(psi0, h_nl_sub, cfg.dt, mesh)
                     prop = LFDPropagator(
                         mesh, v_eff, nlp, cfg.laser, cfg.dt,
@@ -467,6 +529,8 @@ class Simulation:
                             records.append(rec)
                             if dm is not None:
                                 dm.observe(rec)
+                                if sched is not None:
+                                    sched.on_step(step, dm)
                             if field is not None:
                                 field.step(rec.javg)
                             if diagnostics is not None:
@@ -488,6 +552,15 @@ class Simulation:
                     # mutation (extensions, future psi0 re-anchoring)
                     # drops the stale splits before the next block.
                     prop.refresh_plans()
+                    # SCF boundary: the scheduler reads the block's
+                    # alert tally before the monitor's warn/breach
+                    # latches re-arm — a breach in the *next* block
+                    # must fire fresh alerts, not be swallowed by a
+                    # latch set blocks ago.
+                    if sched is not None:
+                        sched.on_scf_boundary(step, dm)
+                    if dm is not None:
+                        dm.reset_alert_latches(step)
                     if remaining > 0:
                         update_span = (
                             tm.span("qxmd_update", cat="scf", step=step)
@@ -559,4 +632,5 @@ class Simulation:
             wall_seconds=time.perf_counter() - t_wall0,
             device=self.device,
             final_psi=psi,
+            scheduler=sched,
         )

@@ -10,6 +10,7 @@ from repro.experiments import (
     figure2,
     figure3a,
     figure3b,
+    pareto,
     report,
     table1,
     table2,
@@ -35,6 +36,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "figure2": (figure2.run, "log10 current-density deviation (Fig. 2)"),
     "figure3a": (figure3a.run, "Time for 500 QD steps per config (Fig. 3a)"),
     "figure3b": (figure3b.run, "BLAS speedup vs N_orb (Fig. 3b)"),
+    "pareto": (
+        pareto.run,
+        "Accuracy-vs-time Pareto: adaptive scheduler vs static modes",
+    ),
     "report": (report.run, "All artifacts + anchor checks -> REPORT.md"),
     "claims": (claims.run, "Paper-claims traceability matrix (live checks)"),
 }

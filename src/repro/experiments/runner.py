@@ -49,6 +49,17 @@ def build_parser() -> argparse.ArgumentParser:
         "run_report.md into DIR",
     )
     parser.add_argument(
+        "--adaptive", action="store_true",
+        help="enable the adaptive precision scheduler ambiently "
+        "(REPRO_ADAPTIVE=1 equivalent) for mode-free simulation runs: "
+        "every labelled call site starts at BF16 and escalates only when "
+        "the live drift approaches the error budget; mode-switch events "
+        "land in the telemetry trace and run report.  Runs that pin an "
+        "explicit compute mode (the paper's static tables/figures) are "
+        "unaffected; the `pareto` experiment always includes an adaptive "
+        "run",
+    )
+    parser.add_argument(
         "--drift-budget", action="store_true",
         help="monitor observable drift against the per-mode error budget "
         "during simulation-backed experiments (REPRO_DRIFT=1 equivalent); "
@@ -93,6 +104,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         set_drift_enabled(True)
 
+    if args.adaptive:
+        # Ambient enablement mirroring --drift-budget: Simulation.run
+        # auto-creates a default AdaptiveScheduler (and the drift
+        # monitor it feeds on) per run, as REPRO_ADAPTIVE=1 would.
+        from repro.core.scheduler import set_adaptive_enabled
+
+        set_adaptive_enabled(True)
+
     with scope:
         if args.jobs > 1 and len(names) > 1:
             # Independent artifacts fan out over a thread pool (NumPy
@@ -119,6 +138,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.telemetry.drift import set_drift_enabled
 
         set_drift_enabled(None)
+    if args.adaptive:
+        from repro.core.scheduler import set_adaptive_enabled
+
+        set_adaptive_enabled(None)
     if args.telemetry is not None:
         print(f"telemetry exported to {args.telemetry}/ "
               "(trace.jsonl, trace.chrome.json, summary.txt, run_report.md)")

@@ -262,6 +262,7 @@ class DriftMonitor:
         self.samples: Dict[str, List[DriftSample]] = {o: [] for o in self.observables}
         self.alerts: List[DriftAlert] = []
         self.qd_steps = 0
+        self.latch_resets = 0
         self._fired: set = set()
         self._lock = threading.Lock()
 
@@ -276,6 +277,53 @@ class DriftMonitor:
         """Derive and attach the analytic budget for ``mode``."""
         self.budget = ErrorBudget.for_mode(mode, dt, h_nl_norm, headroom=headroom)
         return self.budget
+
+    def reset_alert_latches(self, step: Optional[int] = None) -> int:
+        """Re-arm the once-per-(observable, level) alert latches.
+
+        Called at SCF boundaries: the FP64 SCF update re-anchors the
+        state, so a breach *after* the reset is new information — with
+        the latches left set it would be silently swallowed, which is
+        exactly the blind spot the adaptive scheduler's demotion logic
+        cannot afford.  Returns the number of latches cleared and emits
+        ``drift.latch_resets`` so resets are visible in the run report.
+        """
+        with self._lock:
+            cleared = len(self._fired)
+            self._fired.clear()
+            self.latch_resets += 1
+        if cleared:
+            t = _telemetry_active()
+            if t is not None:
+                t.count("drift.latch_resets")
+                t.instant(
+                    "drift.latch_reset",
+                    cat="drift",
+                    cleared=cleared,
+                    step=-1 if step is None else int(step),
+                    mode=self.mode_label,
+                )
+        return cleared
+
+    def current_utilization(self) -> Optional[float]:
+        """Max budget utilization over the latest sample per observable.
+
+        The scheduler's control signal: ``None`` when no referenced,
+        budgeted sample exists yet; ``inf`` propagates (a zero envelope
+        with nonzero deviation is maximally urgent).
+        """
+        worst = None
+        with self._lock:
+            for obs in self.observables:
+                samples = self.samples[obs]
+                if not samples:
+                    continue
+                u = samples[-1].utilization
+                if u is None:
+                    continue
+                if worst is None or u > worst:
+                    worst = u
+        return worst
 
     @property
     def mode_label(self) -> str:
@@ -465,6 +513,7 @@ class DriftMonitor:
         return {
             "mode": self.mode_label,
             "qd_steps": self.qd_steps,
+            "latch_resets": self.latch_resets,
             "budget": None
             if self.budget is None
             else dataclasses.asdict(self.budget),

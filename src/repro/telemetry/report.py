@@ -234,6 +234,60 @@ def _gauge_cell(value: Optional[float], fmt: str = "{:.3g}") -> str:
     return "—" if value is None else fmt.format(value)
 
 
+def _sched_section(events: List[dict], gauges: Dict[str, float]) -> List[str]:
+    """Mode-switch timeline from the scheduler's ``cat="sched"`` events.
+
+    Rendered only when an adaptive run contributed events — static
+    runs get no empty section.  Returns ``[]`` in that case so the
+    caller can skip the heading entirely.
+    """
+    switches = [
+        e.get("args", {})
+        for e in events
+        if e.get("cat") == "sched" and e.get("name") == "sched.switch"
+    ]
+    rungs = {
+        dict(parse_counter_name(flat)[1]).get("site", "-"): value
+        for flat, value in gauges.items()
+        if parse_counter_name(flat)[0] == "sched.site_rung"
+    }
+    if not switches and not rungs:
+        return []
+    lines: List[str] = ["## Adaptive precision schedule", ""]
+    if switches:
+        rows = [
+            [
+                _fmt(a.get("step", 0)),
+                f"`{a.get('site', '-')}`",
+                f"`{a.get('from_mode', '-')}`",
+                f"`{a.get('to_mode', '-')}`",
+                a.get("reason", "-"),
+                _gauge_cell(a.get("utilization")),
+            ]
+            for a in switches
+        ]
+        lines.extend(
+            _md_table(
+                ["step", "site", "from", "to", "reason", "budget use"], rows
+            )
+        )
+    else:
+        lines.append(
+            "No mode switches — the run stayed at its starting precision."
+        )
+    if rungs:
+        lines.append("")
+        lines.append(
+            "Final ladder rungs: "
+            + ", ".join(
+                f"`{site}`={_fmt(rung)}" for site, rung in sorted(rungs.items())
+            )
+            + "."
+        )
+    lines.append("")
+    return lines
+
+
 def _span_table(histograms: Dict[str, dict]) -> List[str]:
     rows = []
     for name, h in sorted(histograms.items()):
@@ -308,6 +362,8 @@ def render_run_report(data: dict) -> str:
     lines.append("")
     lines.extend(_drift_section(events, gauges))
     lines.append("")
+
+    lines.extend(_sched_section(events, gauges))
 
     lines.append("## BLAS hot call sites")
     lines.append("")

@@ -10,7 +10,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5", "table6",
             "table7", "figure1", "figure2", "figure3a", "figure3b",
-            "report", "claims",
+            "pareto", "report", "claims",
         }
 
     def test_unknown_id(self):

@@ -1,0 +1,61 @@
+"""Property: a clamped scheduler is invisible to the numerics.
+
+``AdaptiveScheduler(clamp=mode)`` must reproduce the corresponding
+static-mode run *bitwise* — same final state, same observable columns —
+for every compute mode on every lattice.  The scheduler machinery
+(mutable policy on the GEMM dispatch path, per-step hooks, latch
+resets) is then pure bookkeeping: enabling it cannot perturb a
+pinned-precision trajectory by even one ULP.
+
+The mode × lattice grid is a pytest parametrization rather than a
+Hypothesis search: each case is a full (tiny) simulation pair, and the
+space is small and discrete, so exhaustive beats sampled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.core.scheduler import AdaptiveScheduler
+from repro.dcmesh.simulation import Simulation, SimulationConfig
+
+pytestmark = pytest.mark.slow
+
+MODES = (
+    ComputeMode.STANDARD,
+    ComputeMode.FLOAT_TO_BF16,
+    ComputeMode.FLOAT_TO_TF32,
+    ComputeMode.FLOAT_TO_BF16X2,
+    ComputeMode.COMPLEX_3M,
+)
+
+LATTICES = (
+    dict(mesh_shape=(6, 6, 6), n_orb=20, n_qd_steps=8, nscf=4),
+    dict(mesh_shape=(10, 8, 6), n_orb=24, n_qd_steps=6, nscf=3),
+)
+
+OBSERVABLE_COLUMNS = ("nexc", "javg", "ekin", "etot")
+
+
+def _run(cfg, **kwargs):
+    sim = Simulation(cfg)
+    sim.setup()
+    return sim.run(**kwargs)
+
+
+@pytest.mark.parametrize("lattice", LATTICES, ids=["cube6", "slab10x8x6"])
+@pytest.mark.parametrize("mode", MODES, ids=[m.env_value for m in MODES])
+def test_clamped_scheduler_is_bitwise_identical_to_static(mode, lattice):
+    cfg = SimulationConfig.small_test(**lattice)
+    static = _run(cfg, mode=mode)
+    clamped = _run(cfg, adaptive=AdaptiveScheduler(clamp=mode))
+
+    assert clamped.scheduler is not None
+    assert clamped.scheduler.clamp is mode
+    assert clamped.scheduler.switches == []
+
+    np.testing.assert_array_equal(clamped.final_psi, static.final_psi)
+    for col in OBSERVABLE_COLUMNS:
+        np.testing.assert_array_equal(
+            clamped.column(col), static.column(col), err_msg=col
+        )

@@ -341,3 +341,81 @@ class TestOperandHandle:
         ref = split_gemm_reference(a, b, Precision.BF16, 3)
         out = split_gemm_real(prepare(a), prepare(b), Precision.BF16, 3)
         np.testing.assert_array_equal(out.view(np.uint32), ref.view(np.uint32))
+
+
+class TestSplitExtension:
+    """Escalation-path caching: shorter splits extend, never recompute."""
+
+    def _counts(self, t, result, mode):
+        return t.counter_value("blas.plan.split", result=result, mode=mode, site="-")
+
+    def test_extension_is_bitwise_equal_to_from_scratch(self, rng):
+        from repro.blas.rounding import split_terms
+
+        x = rng.standard_normal((9, 13)).astype(np.float32)
+        plan = PreparedOperand(x)
+        plan.split_stack("N", 7, 1)
+        extended = plan.split_stack("N", 7, 3)  # extends the 1-term split
+        cold = split_terms(x, 7, 3)
+        for i in range(3):
+            np.testing.assert_array_equal(extended[i], cold[i])
+
+    def test_counters_hit_extend_full(self, rng):
+        from repro.telemetry.registry import disable, enable
+
+        x = rng.standard_normal((6, 6)).astype(np.float32)
+        plan = PreparedOperand(x)
+        t = enable()
+        try:
+            plan.split_stack("N", 7, 1)   # full
+            plan.split_stack("N", 7, 2)   # extend from 1-term
+            plan.split_stack("N", 7, 2)   # hit
+            plan.split_stack("N", 7, 3)   # extend from 2-term
+            plan.split_stack("N", 10, 1)  # different keep_bits: full
+        finally:
+            disable()
+        assert self._counts(t, "full", "bf16") == 1
+        assert self._counts(t, "extend", "bf16x2") == 1
+        assert self._counts(t, "hit", "bf16x2") == 1
+        assert self._counts(t, "extend", "bf16x3") == 1
+        assert self._counts(t, "full", "tf32") == 1
+
+    def test_escalate_demote_escalate_cycle_hits_cache(self, rng):
+        """The adaptive scheduler's round trip must be all cache hits.
+
+        BF16 -> BF16X2 (escalate) -> BF16 (demote) -> BF16X2
+        (re-escalate): after the first escalation every request is
+        served from cache — demotion uses the prefix of the wider
+        split, re-escalation finds the wider split still cached.
+        """
+        from repro.telemetry.registry import disable, enable
+
+        x = rng.standard_normal((8, 8)).astype(np.float32)
+        plan = PreparedOperand(x)
+        t = enable()
+        try:
+            first = plan.split_stack("N", 7, 1)    # BF16: full
+            wide = plan.split_stack("N", 7, 2)     # escalate: extend
+            demoted = plan.split_stack("N", 7, 1)  # demote: hit
+            again = plan.split_stack("N", 7, 2)    # re-escalate: hit
+        finally:
+            disable()
+        assert demoted is first and again is wide
+        assert self._counts(t, "full", "bf16") == 1
+        assert self._counts(t, "extend", "bf16x2") == 1
+        assert self._counts(t, "hit", "bf16") == 1
+        assert self._counts(t, "hit", "bf16x2") == 1
+        np.testing.assert_array_equal(wide[0], first[0])  # prefix property
+
+    def test_invalidated_counter_name(self, rng):
+        from repro.telemetry.registry import disable, enable
+
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        plan = PreparedOperand(x)
+        plan.split_stack("N", 7, 2)
+        t = enable()
+        try:
+            plan.invalidate()
+        finally:
+            disable()
+        assert t.counter_value("blas.plan.invalidated") == 1.0

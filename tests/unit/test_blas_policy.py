@@ -5,7 +5,7 @@ import pytest
 
 from repro.blas.gemm import call_site, gemm
 from repro.blas.modes import ComputeMode, compute_mode
-from repro.blas.policy import SitePolicy, active_policy
+from repro.blas.policy import AdaptiveSitePolicy, SitePolicy, active_policy
 from repro.blas.verbose import mkl_verbose
 
 pytestmark = pytest.mark.usefixtures("clean_mode_env")
@@ -112,3 +112,39 @@ class TestPolicyDispatch:
         assert by_site["nlp_prop"] is ComputeMode.FLOAT_TO_BF16X3
         assert by_site["calc_energy"] is ComputeMode.FLOAT_TO_BF16
         assert len(result.records) == 7
+
+
+class TestAdaptiveSitePolicy:
+    def test_set_mode_publishes_fresh_mapping(self):
+        policy = AdaptiveSitePolicy({"s": "FLOAT_TO_BF16"})
+        before = policy.snapshot()
+        policy.set_mode("s", "FLOAT_TO_BF16X2")
+        assert policy.mode_for("s") is ComputeMode.FLOAT_TO_BF16X2
+        # The snapshot taken earlier is unaffected: mutation replaces
+        # the dict, it never edits in place.
+        assert before["s"] is ComputeMode.FLOAT_TO_BF16
+
+    def test_set_default_covers_unmapped_sites(self):
+        policy = AdaptiveSitePolicy({"s": "FLOAT_TO_BF16"})
+        assert policy.mode_for("other") is None
+        policy.set_default("STANDARD")
+        assert policy.mode_for("other") is ComputeMode.STANDARD
+        policy.set_default(None)
+        assert policy.mode_for("other") is None
+
+    def test_midstream_switch_changes_dispatch(self, ab):
+        a, b = ab
+        policy = AdaptiveSitePolicy({"s": "FLOAT_TO_BF16"})
+        with policy.active(), mkl_verbose() as log:
+            with call_site("s"):
+                gemm(a, b)
+            policy.set_mode("s", "FLOAT_TO_BF16X3")
+            with call_site("s"):
+                gemm(a, b)
+        assert [r.mode for r in log] == [
+            ComputeMode.FLOAT_TO_BF16,
+            ComputeMode.FLOAT_TO_BF16X3,
+        ]
+
+    def test_repr_marks_adaptive(self):
+        assert repr(AdaptiveSitePolicy({})).startswith("Adaptive")

@@ -1,0 +1,284 @@
+"""Unit tests: the adaptive precision scheduler's control logic.
+
+The scheduler is exercised against a scripted stand-in for the drift
+monitor so every decision branch (breach, warn, dwell, hysteresis,
+demotion, clamp) is reachable without running a simulation.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.core.error_model import mode_effective_error
+from repro.core.scheduler import (
+    ADAPTIVE_ENV,
+    AdaptiveScheduler,
+    SchedulerConfig,
+    adaptive_enabled,
+    set_adaptive_enabled,
+)
+from repro.telemetry.drift import DriftAlert
+
+
+@dataclasses.dataclass
+class FakeMonitor:
+    """Just the two scheduler-facing pieces of a DriftMonitor."""
+
+    utilization: float = 0.0
+    alerts: list = dataclasses.field(default_factory=list)
+
+    def current_utilization(self):
+        return self.utilization
+
+    def breach(self, step):
+        self.alerts.append(
+            DriftAlert(
+                level="breach", observable="nexc", step=step, time_fs=0.0,
+                utilization=self.utilization, relative=0.0, envelope=1.0,
+            )
+        )
+
+
+class TestLadder:
+    def test_default_ladder_is_monotone_in_accuracy(self):
+        sched = AdaptiveScheduler()
+        errors = [mode_effective_error(m) for m in sched.ladder]
+        assert errors == sorted(errors, reverse=True)
+        # TF32 (single 10-bit product) sits below BF16X2 (compensated
+        # 2-term split) — the ordering the analytic model dictates.
+        assert sched.ladder.index(ComputeMode.FLOAT_TO_TF32) < sched.ladder.index(
+            ComputeMode.FLOAT_TO_BF16X2
+        )
+        assert sched.ladder[0] is ComputeMode.FLOAT_TO_BF16
+        assert sched.ladder[-1] is ComputeMode.STANDARD
+
+    def test_duplicate_ladder_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AdaptiveScheduler(
+                SchedulerConfig(ladder=("FLOAT_TO_BF16", "FLOAT_TO_BF16"))
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(escalate_at=0.1, demote_below=0.5)
+        with pytest.raises(ValueError):
+            SchedulerConfig(min_dwell_steps=-1)
+        with pytest.raises(ValueError):
+            SchedulerConfig(ladder=("FLOAT_TO_BF16",))
+
+
+class TestEscalation:
+    def test_starts_everything_at_ladder_bottom(self):
+        sched = AdaptiveScheduler()
+        assert all(
+            m is sched.ladder[0] for m in sched.site_modes().values()
+        )
+        assert sched.policy.mode_for("nlp_prop") is sched.ladder[0]
+
+    def test_breach_escalates_every_site_immediately(self):
+        sched = AdaptiveScheduler()
+        mon = FakeMonitor(utilization=5.0)
+        mon.breach(step=1)
+        made = sched.on_step(1, mon)
+        assert len(made) == len(sched.config.sites)
+        assert all(sw.reason == "breach" for sw in made)
+        assert all(m is sched.ladder[1] for m in sched.site_modes().values())
+        # The mutable policy follows the decision.
+        assert sched.policy.mode_for("nlp_prop") is sched.ladder[1]
+
+    def test_warn_escalates_one_site_only(self):
+        sched = AdaptiveScheduler()
+        mon = FakeMonitor(utilization=0.75)
+        made = sched.on_step(1, mon)
+        assert len(made) == 1
+        assert made[0].reason == "warn"
+        promoted = sum(
+            1 for m in sched.site_modes().values() if m is sched.ladder[1]
+        )
+        assert promoted == 1
+
+    def test_dwell_blocks_rapid_warn_escalation_of_same_site(self):
+        cfg = SchedulerConfig(min_dwell_steps=10)
+        sched = AdaptiveScheduler(cfg)
+        mon = FakeMonitor(utilization=0.9)
+        first = sched.on_step(1, mon)
+        assert len(first) == 1
+        site = first[0].site
+        # Every step until the dwell expires: that site must not move
+        # again; the others each take one rung instead.
+        for step in range(2, 11):
+            for sw in sched.on_step(step, mon):
+                assert not (sw.site == site and step - 1 < 10)
+        assert sched._rung[site] == 1
+
+    def test_breach_ignores_dwell(self):
+        cfg = SchedulerConfig(min_dwell_steps=1000)
+        sched = AdaptiveScheduler(cfg)
+        mon = FakeMonitor(utilization=2.0)
+        mon.breach(step=1)
+        assert len(sched.on_step(1, mon)) == len(cfg.sites)
+        mon.breach(step=2)
+        assert len(sched.on_step(2, mon)) == len(cfg.sites)
+
+    def test_unhandled_breach_counted_at_ladder_top(self):
+        sched = AdaptiveScheduler()
+        mon = FakeMonitor(utilization=2.0)
+        for step in range(1, len(sched.ladder)):
+            mon.breach(step=step)
+            sched.on_step(step, mon)
+        assert all(m is sched.ladder[-1] for m in sched.site_modes().values())
+        assert sched.unhandled_breaches == 0
+        mon.breach(step=99)
+        assert sched.on_step(99, mon) == []
+        assert sched.unhandled_breaches == 1
+
+    def test_no_monitor_means_no_decisions(self):
+        sched = AdaptiveScheduler()
+        assert sched.on_step(1, None) == []
+        assert sched.escalations == 0
+
+
+class TestDemotion:
+    def test_quiet_block_demotes_at_scf_boundary(self):
+        sched = AdaptiveScheduler()
+        mon = FakeMonitor(utilization=2.0)
+        mon.breach(step=1)
+        sched.on_step(1, mon)
+        assert all(m is sched.ladder[1] for m in sched.site_modes().values())
+        # Close the noisy block, then run a quiet one.
+        sched.on_scf_boundary(1, mon)
+        mon.utilization = 0.05
+        sched.on_step(2, mon)
+        made = sched.on_scf_boundary(2, mon)
+        assert len(made) == len(sched.config.sites)
+        assert all(sw.reason == "scf_reset" for sw in made)
+        assert all(m is sched.ladder[0] for m in sched.site_modes().values())
+
+    def test_hysteresis_blocks_demotion_in_the_dead_band(self):
+        sched = AdaptiveScheduler()
+        mon = FakeMonitor(utilization=2.0)
+        mon.breach(step=1)
+        sched.on_step(1, mon)
+        sched.on_scf_boundary(1, mon)
+        # Utilization between demote_below and escalate_at: hold.
+        mon.utilization = 0.5
+        sched.on_step(2, mon)
+        assert sched.on_scf_boundary(2, mon) == []
+        assert all(m is sched.ladder[1] for m in sched.site_modes().values())
+
+    def test_block_with_alert_never_demotes(self):
+        sched = AdaptiveScheduler()
+        mon = FakeMonitor(utilization=2.0)
+        mon.breach(step=1)
+        sched.on_step(1, mon)
+        mon.utilization = 0.01  # quiet *after* the breach
+        sched.on_step(2, mon)
+        # The block saw an alert at step 1 -> no demotion at its end.
+        assert sched.on_scf_boundary(2, mon) == []
+
+    def test_demotion_stops_at_ladder_bottom(self):
+        sched = AdaptiveScheduler()
+        mon = FakeMonitor(utilization=0.0)
+        sched.on_step(1, mon)
+        assert sched.on_scf_boundary(1, mon) == []
+        assert sched.demotions == 0
+
+    def test_block_stats_reset_per_block(self):
+        sched = AdaptiveScheduler()
+        mon = FakeMonitor(utilization=0.9)
+        sched.on_step(1, mon)
+        sched.on_scf_boundary(1, mon)
+        assert sched._block_max_util is None
+        assert sched._block_alerts == 0
+
+
+class TestClampAndSummary:
+    def test_clamp_pins_sites_and_default(self):
+        sched = AdaptiveScheduler(clamp="FLOAT_TO_BF16X3")
+        assert sched.clamp is ComputeMode.FLOAT_TO_BF16X3
+        for site in sched.config.sites:
+            assert sched.mode_for(site) is ComputeMode.FLOAT_TO_BF16X3
+            assert sched.policy.mode_for(site) is ComputeMode.FLOAT_TO_BF16X3
+        # Unlabeled anchors (the FP64 phase's calls) resolve to the
+        # clamp too, matching a static compute_mode scope.
+        assert sched.policy.mode_for("") is ComputeMode.FLOAT_TO_BF16X3
+
+    def test_clamp_makes_every_hook_a_noop(self):
+        sched = AdaptiveScheduler(clamp="FLOAT_TO_BF16")
+        mon = FakeMonitor(utilization=100.0)
+        mon.breach(step=1)
+        assert sched.on_step(1, mon) == []
+        assert sched.on_scf_boundary(1, mon) == []
+        assert sched.switches == []
+
+    def test_summary_shape(self):
+        sched = AdaptiveScheduler()
+        mon = FakeMonitor(utilization=2.0)
+        mon.breach(step=1)
+        sched.on_step(1, mon)
+        s = sched.summary()
+        assert s["clamp"] is None
+        assert s["escalations"] == len(sched.config.sites)
+        assert s["unhandled_breaches"] == 0
+        assert len(s["switches"]) == len(sched.config.sites)
+        sw = s["switches"][0]
+        assert set(sw) == {"step", "site", "from", "to", "reason", "utilization"}
+        assert s["final_modes"]["nlp_prop"] == sched.ladder[1].env_value
+
+    def test_scope_installs_policy(self):
+        from repro.blas.policy import active_policy
+
+        sched = AdaptiveScheduler()
+        assert active_policy() is not sched.policy
+        with sched.scope():
+            assert active_policy() is sched.policy
+        assert active_policy() is not sched.policy
+
+
+class TestTelemetry:
+    def test_switch_events_counters_gauges(self):
+        from repro.telemetry.registry import disable, enable
+
+        c = enable()
+        try:
+            sched = AdaptiveScheduler()
+            mon = FakeMonitor(utilization=2.0)
+            mon.breach(step=3)
+            sched.on_step(3, mon)
+            sched.on_scf_boundary(3, mon)  # noisy block: no demotion
+            mon.utilization = 0.01
+            sched.on_step(4, mon)
+            sched.on_scf_boundary(4, mon)  # quiet block: all demote
+        finally:
+            disable()
+        ups = c.counter_value("sched.switches", site="nlp_prop", direction="up")
+        downs = c.counter_value("sched.switches", site="nlp_prop", direction="down")
+        assert ups == 1 and downs == 1
+        assert c.gauge_value("sched.site_rung", site="nlp_prop") == 0.0
+        names = [e["name"] for e in c.events if e.get("cat") == "sched"]
+        assert names.count("sched.switch") == 6
+        args = next(
+            e["args"] for e in c.events if e.get("name") == "sched.switch"
+        )
+        assert {"site", "from_mode", "to_mode", "step", "reason"} <= set(args)
+
+
+class TestAmbientEnablement:
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.delenv(ADAPTIVE_ENV, raising=False)
+        assert not adaptive_enabled()
+        monkeypatch.setenv(ADAPTIVE_ENV, "1")
+        assert adaptive_enabled()
+        set_adaptive_enabled(False)
+        try:
+            assert not adaptive_enabled()
+            set_adaptive_enabled(True)
+            monkeypatch.setenv(ADAPTIVE_ENV, "0")
+            assert adaptive_enabled()
+        finally:
+            set_adaptive_enabled(None)
+
+    def test_env_zero_is_off(self, monkeypatch):
+        monkeypatch.setenv(ADAPTIVE_ENV, "0")
+        assert not adaptive_enabled()

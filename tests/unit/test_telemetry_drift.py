@@ -267,3 +267,54 @@ class TestAmbient:
             psi = prop.step(psi0.copy(), 0.0)
             prop.step(psi, 0.02)
         assert dm.qd_steps == 2
+
+
+class TestAlertLatchReset:
+    def test_alerts_refire_after_reset(self):
+        budget = ErrorBudget(per_step=0.1, exponent=0.0)
+        dm = DriftMonitor(reference=_reference(), budget=budget)
+        first = dm.observe(_record(1, nexc=1.5))  # util 5: warn + breach
+        assert {a.level for a in first} == {"warn", "breach"}
+        # Latched: the same breach stays silent...
+        assert dm.observe(_record(2, nexc=1.5)) == []
+        # ...until an SCF boundary re-arms it.
+        assert dm.reset_alert_latches(step=2) == 2
+        again = dm.observe(_record(3, nexc=1.5))
+        assert {(a.level, a.step) for a in again} == {("warn", 3), ("breach", 3)}
+        assert len(dm.breaches()) == 2
+
+    def test_reset_counts_and_summary(self):
+        dm = DriftMonitor(reference=_reference(), budget=ErrorBudget(per_step=0.1))
+        assert dm.latch_resets == 0
+        assert dm.reset_alert_latches() == 0  # nothing latched yet
+        assert dm.latch_resets == 1
+        assert dm.summary()["latch_resets"] == 1
+
+    def test_reset_emits_telemetry_only_when_latches_cleared(self):
+        t = registry.enable()
+        budget = ErrorBudget(per_step=0.1, exponent=0.0)
+        dm = DriftMonitor(reference=_reference(), budget=budget)
+        dm.reset_alert_latches(step=0)  # no latches set: silent
+        assert t.counter_value("drift.latch_resets") == 0.0
+        dm.observe(_record(1, nexc=1.5))
+        dm.reset_alert_latches(step=1)
+        assert t.counter_value("drift.latch_resets") == 1.0
+        ev = next(e for e in t.events if e.get("name") == "drift.latch_reset")
+        assert ev["args"]["cleared"] == 2  # warn + breach latches
+        assert ev["args"]["step"] == 1
+
+
+class TestCurrentUtilization:
+    def test_none_without_budgeted_samples(self):
+        dm = DriftMonitor(mode="FLOAT_TO_BF16")
+        assert dm.current_utilization() is None
+        dm.observe(_record(0))  # no reference: deviation is None
+        assert dm.current_utilization() is None
+
+    def test_tracks_latest_sample_worst_observable(self):
+        budget = ErrorBudget(per_step=0.1, exponent=0.0)
+        dm = DriftMonitor(reference=_reference(), budget=budget)
+        dm.observe(_record(1, nexc=1.05))  # nexc rel dev 0.05 -> util 0.5
+        assert dm.current_utilization() == pytest.approx(0.5)
+        dm.observe(_record(2))  # back on the reference
+        assert dm.current_utilization() == pytest.approx(0.0)
