@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast lint ci bench bench-split bench-telemetry bench-adaptive repro report claims examples clean
+.PHONY: install test test-fast lint ci bench bench-split bench-telemetry bench-adaptive bench-backends repro report claims examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +38,10 @@ bench-telemetry:
 
 bench-adaptive:
 	$(PYTHON) -m pytest benchmarks/test_adaptive_sched.py -q -p no:cacheprovider
+	$(PYTHON) scripts/check_bench_regression.py --adaptive
+
+bench-backends:
+	$(PYTHON) -m pytest benchmarks/test_backend_compare.py -q -p no:cacheprovider
 
 repro:
 	$(PYTHON) -m repro.experiments.runner all --output repro_output/

@@ -1,11 +1,18 @@
 #!/usr/bin/env python
-"""Gate the split-plan fast path against stored speedup floors.
+"""Gate benchmark results against stored floors.
 
-Reads ``BENCH_splitgemm.json`` (produced by
+Default mode reads ``BENCH_splitgemm.json`` (produced by
 ``benchmarks/test_split_gemm_perf.py``) and fails — exit code 1 — if
 any mode's prepared-vs-cold speedup dropped below its floor in
 ``benchmarks/splitgemm_floors.json``, or if any mode's prepared output
 was not bitwise identical to the cold path.
+
+``--adaptive`` switches to the adaptive-scheduler benchmark instead:
+``BENCH_adaptive.json`` (from ``benchmarks/test_adaptive_sched.py``)
+is checked against ``benchmarks/adaptive_floors.json`` —
+``speedup_vs_bf16x3`` must clear its floor (slack applies) and the
+scheduler must report zero ``unhandled_breaches`` (a correctness
+invariant of the closed loop: slack never applies).
 
 Shared CI runners are noisy, so two escape hatches exist:
 
@@ -35,6 +42,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_RESULTS = REPO_ROOT / "BENCH_splitgemm.json"
 DEFAULT_FLOORS = REPO_ROOT / "benchmarks" / "splitgemm_floors.json"
+ADAPTIVE_RESULTS = REPO_ROOT / "BENCH_adaptive.json"
+ADAPTIVE_FLOORS = REPO_ROOT / "benchmarks" / "adaptive_floors.json"
 
 
 def _env_flag(name: str) -> bool:
@@ -150,17 +159,102 @@ def check(
     return 0
 
 
+def _dig(doc: dict, dotted: str):
+    """Resolve a ``a.b.c`` path into nested dicts (None when absent)."""
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_adaptive(
+    results_path: Path,
+    floors_path: Path,
+    slack: float = 0.0,
+    report_only: bool = False,
+) -> int:
+    """Gate the adaptive-scheduler benchmark against its stored floors."""
+    results, problem = _load_json(
+        results_path,
+        "run `pytest benchmarks/test_adaptive_sched.py` (or `make bench-adaptive`) first",
+    )
+    if problem is not None:
+        return _fail_or_report(problem, report_only)
+    floors_doc, problem = _load_json(
+        floors_path, "the baseline floors file should be committed in benchmarks/"
+    )
+    if problem is not None:
+        return _fail_or_report(problem, report_only)
+    if not isinstance(floors_doc, dict) or "floors" not in floors_doc:
+        return _fail_or_report(
+            f"{floors_path} is missing its 'floors' key — regenerate it", report_only
+        )
+    if not 0.0 <= slack < 1.0:
+        print(f"error: --slack must be in [0, 1), got {slack}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for metric, floor in floors_doc["floors"].items():
+        value = _dig(results, metric)
+        if value is None:
+            failures.append(f"{metric}: missing from {results_path.name}")
+            continue
+        effective_floor = floor * (1.0 - slack)
+        status = "ok" if value >= effective_floor else "BELOW FLOOR"
+        if status != "ok":
+            failures.append(
+                f"{metric}: {value:.2f} below floor {floor:.2f} "
+                f"(effective {effective_floor:.2f} with slack {slack:.0%})"
+            )
+        print(
+            f"{metric:<24} {value:6.2f}  (floor {floor:.2f}, "
+            f"slack {slack:.0%})  [{status}]"
+        )
+    for metric, expected in (floors_doc.get("invariants") or {}).items():
+        value = _dig(results, metric)
+        status = "ok" if value == expected else "INVARIANT VIOLATED"
+        if status != "ok":
+            # Correctness, not noise: slack never applies here.
+            failures.append(f"{metric}: expected {expected}, got {value}")
+        print(f"{metric:<24} {value!r:>6}  (must equal {expected})  [{status}]")
+
+    if failures:
+        if report_only:
+            for f in failures:
+                _warn(f)
+            print(
+                "\nadaptive-scheduler regression check: "
+                f"{len(failures)} violation(s) reported (report-only mode, not failing)."
+            )
+            return 0
+        print("\nadaptive-scheduler regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nadaptive-scheduler regression check passed.")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         description="Check split-GEMM benchmark results against stored floors."
     )
     parser.add_argument(
-        "results", nargs="?", type=Path, default=DEFAULT_RESULTS,
-        help=f"benchmark results JSON (default: {DEFAULT_RESULTS.name})",
+        "results", nargs="?", type=Path, default=None,
+        help=f"benchmark results JSON (default: {DEFAULT_RESULTS.name}, "
+        f"or {ADAPTIVE_RESULTS.name} with --adaptive)",
     )
     parser.add_argument(
-        "floors", nargs="?", type=Path, default=DEFAULT_FLOORS,
-        help="speedup floors JSON (default: benchmarks/splitgemm_floors.json)",
+        "floors", nargs="?", type=Path, default=None,
+        help="floors JSON (default: benchmarks/splitgemm_floors.json, "
+        "or benchmarks/adaptive_floors.json with --adaptive)",
+    )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="check the adaptive-scheduler benchmark (BENCH_adaptive.json) "
+        "instead of the split-GEMM fast path",
     )
     parser.add_argument(
         "--slack", type=float,
@@ -180,7 +274,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return check(args.results, args.floors, slack=args.slack, report_only=args.report_only)
+    if args.adaptive:
+        results = args.results or ADAPTIVE_RESULTS
+        floors = args.floors or ADAPTIVE_FLOORS
+        return check_adaptive(
+            results, floors, slack=args.slack, report_only=args.report_only
+        )
+    results = args.results or DEFAULT_RESULTS
+    floors = args.floors or DEFAULT_FLOORS
+    return check(results, floors, slack=args.slack, report_only=args.report_only)
 
 
 if __name__ == "__main__":

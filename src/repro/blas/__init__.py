@@ -22,6 +22,19 @@ FP32's 24), an FP32 matmul over rounded inputs reproduces the XMX
 numerics exactly up to accumulation order.
 """
 
+from repro.blas.backend import (
+    ArrayBackend,
+    BackendCapabilities,
+    BackendUnavailable,
+    NumpyBackend,
+    REPRO_BACKEND_ENV,
+    active_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from repro.blas.modes import (
     ComputeMode,
     MKL_COMPUTE_MODE_ENV,
@@ -69,6 +82,17 @@ from repro.blas.verbose import (
 )
 
 __all__ = [
+    "ArrayBackend",
+    "BackendCapabilities",
+    "BackendUnavailable",
+    "NumpyBackend",
+    "REPRO_BACKEND_ENV",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
     "ComputeMode",
     "MKL_COMPUTE_MODE_ENV",
     "compute_mode",

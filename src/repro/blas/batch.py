@@ -16,6 +16,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.blas import backend as _backend
 from repro.blas.gemm import (
     _anon_worth_it,
     _assert_finite,
@@ -91,12 +92,13 @@ def gemm_batch(
             _current_site() or "-", "gemm_batch", routine, m, n, k, batch
         )
 
+    be = _backend._active
     t0 = time.perf_counter()
     if site_id:
         with site_scope(site_id):
-            out = _compute(a_h, b_h, effective, dtype)
+            out = _compute(a_h, b_h, effective, dtype, be)
     else:
-        out = _compute(a_h, b_h, effective, dtype)
+        out = _compute(a_h, b_h, effective, dtype, be)
     wall = time.perf_counter() - t0
     if alpha != 1.0:
         out = (alpha * out).astype(dtype, copy=False)
@@ -123,6 +125,7 @@ def gemm_batch(
                 site=_current_site(),
                 batch=batch,
                 site_id=site_id,
+                backend=be.cache_key,
             )
         )
     return out

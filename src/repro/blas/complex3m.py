@@ -30,6 +30,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.blas import backend as _backend
 from repro.telemetry.provenance import current_site_id as _current_site_id
 from repro.telemetry.registry import active as _telemetry_active
 
@@ -122,27 +123,31 @@ def gemm_3m(
 # ----------------------------------------------------------------------
 
 
-def gemm_4m_split_planned(a_handle, b_handle, precision, n_terms) -> np.ndarray:
+def gemm_4m_split_planned(a_handle, b_handle, precision, n_terms, backend=None) -> np.ndarray:
     """4M complex GEMM with split-precision component real GEMMs.
 
     This is ``gemm_4m(a, b, real_gemm=split_gemm_real)`` routed through
     prepared operands: the four real GEMMs share each part's split
     stack (built once) and run on the fused engine — a BF16X3 ``cgemm``
-    drops from 24 fresh-temporary matmuls to 4 fused batches.
+    drops from 24 fresh-temporary matmuls to 4 fused batches.  The
+    component products execute on ``backend`` (default: the ambient
+    :func:`repro.blas.backend.active_backend`); the Cr/Ci assembly is
+    cheap element-wise work and stays in NumPy.
     """
     from repro.blas.workspace import split_gemm_fused
 
+    be = _backend._active if backend is None else backend
     _count_kernel("4m_split_planned")
     cdt = np.dtype(a_handle.dtype)
     cr = split_gemm_fused(
-        a_handle, b_handle, precision, n_terms, part_a="re", part_b="re"
+        a_handle, b_handle, precision, n_terms, part_a="re", part_b="re", backend=be
     ) - split_gemm_fused(
-        a_handle, b_handle, precision, n_terms, part_a="im", part_b="im"
+        a_handle, b_handle, precision, n_terms, part_a="im", part_b="im", backend=be
     )
     ci = split_gemm_fused(
-        a_handle, b_handle, precision, n_terms, part_a="re", part_b="im"
+        a_handle, b_handle, precision, n_terms, part_a="re", part_b="im", backend=be
     ) + split_gemm_fused(
-        a_handle, b_handle, precision, n_terms, part_a="im", part_b="re"
+        a_handle, b_handle, precision, n_terms, part_a="im", part_b="re", backend=be
     )
     out = np.empty(cr.shape, dtype=cdt)
     out.real = cr
@@ -150,18 +155,23 @@ def gemm_4m_split_planned(a_handle, b_handle, precision, n_terms) -> np.ndarray:
     return out
 
 
-def gemm_3m_planned(a_handle, b_handle) -> np.ndarray:
+def gemm_3m_planned(a_handle, b_handle, backend=None) -> np.ndarray:
     """3M complex GEMM over prepared operands (standard FP arithmetic).
 
     The ``Ar + Ai`` / ``Br + Bi`` sum terms are cached on the plan
     alongside the parts, so a frozen operand contributes zero per-call
-    packing work.
+    packing work.  The three real products run on ``backend``; the
+    ``t3 - t1 - t2`` recombination (the mode's signature cancellation)
+    stays in NumPy FP so its behaviour is backend-independent.
     """
+    be = _backend._active if backend is None else backend
     _count_kernel("3m_planned")
     cdt = np.dtype(a_handle.dtype)
-    t1 = np.matmul(a_handle.part("re"), b_handle.part("re"))
-    t2 = np.matmul(a_handle.part("im"), b_handle.part("im"))
-    t3 = np.matmul(a_handle.part("re+im"), b_handle.part("re+im"))
+    t1 = be.to_numpy(be.matmul(a_handle.part_native(be, "re"), b_handle.part_native(be, "re")))
+    t2 = be.to_numpy(be.matmul(a_handle.part_native(be, "im"), b_handle.part_native(be, "im")))
+    t3 = be.to_numpy(
+        be.matmul(a_handle.part_native(be, "re+im"), b_handle.part_native(be, "re+im"))
+    )
     out = np.empty(t1.shape, dtype=cdt)
     out.real = t1 - t2
     out.imag = t3 - t1 - t2

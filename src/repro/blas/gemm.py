@@ -27,6 +27,7 @@ from typing import Iterator, Optional, Union
 
 import numpy as np
 
+from repro.blas import backend as _backend
 from repro.blas.complex3m import gemm_3m_planned, gemm_4m_split_planned
 from repro.blas.modes import ComputeMode, resolve_mode
 from repro.blas.plan import OrientedOperand, PreparedOperand, operand_handle
@@ -184,13 +185,25 @@ def _anon_worth_it(mode: ComputeMode, dtype: np.dtype) -> bool:
     )
 
 
-def _compute(a_h: OrientedOperand, b_h: OrientedOperand, mode: ComputeMode, dtype: np.dtype) -> np.ndarray:
+def _compute(
+    a_h: OrientedOperand,
+    b_h: OrientedOperand,
+    mode: ComputeMode,
+    dtype: np.dtype,
+    be=None,
+) -> np.ndarray:
     """Run ``op(A) @ op(B)`` under ``mode`` over operand handles.
 
     The handles serve every derived operand form (contiguous casts,
     real/imag parts, split-term stacks) from their plans, so a
     prepared/cached operand contributes no per-call conversion work.
+    ``be`` is the :class:`~repro.blas.backend.ArrayBackend` executing
+    the level-3 products; the entry points capture the ambient backend
+    once per call and pass it down, so the default (NumPy) path costs
+    exactly one module-attribute read.
     """
+    if be is None:
+        be = _backend._active
     is_complex = dtype.kind == "c"
     is_single = dtype in (np.dtype(np.float32), np.dtype(np.complex64))
 
@@ -199,17 +212,22 @@ def _compute(a_h: OrientedOperand, b_h: OrientedOperand, mode: ComputeMode, dtyp
             # MKL composes FLOAT_TO_* with the standard 4M complex
             # decomposition: each real component GEMM is split.
             return gemm_4m_split_planned(
-                a_h, b_h, mode.component_precision, mode.n_terms
+                a_h, b_h, mode.component_precision, mode.n_terms, backend=be
             )
         # Real single precision: inputs are rounded/split directly.
-        return split_gemm_fused(a_h, b_h, mode.component_precision, mode.n_terms)
+        return split_gemm_fused(
+            a_h, b_h, mode.component_precision, mode.n_terms, backend=be
+        )
 
     if mode.uses_3m and is_complex:
-        return gemm_3m_planned(a_h, b_h)
+        return gemm_3m_planned(a_h, b_h, backend=be)
 
     # STANDARD, or a mode that does not apply to this routine
     # (FLOAT_TO_* on dgemm/zgemm, COMPLEX_3M on real routines).
-    return np.matmul(a_h.contiguous(), b_h.contiguous()).astype(dtype, copy=False)
+    out = be.to_numpy(
+        be.matmul(a_h.contiguous_native(be), b_h.contiguous_native(be))
+    )
+    return out.astype(dtype, copy=False)
 
 
 # ----------------------------------------------------------------------
@@ -302,12 +320,14 @@ def gemm(
     if _telemetry_active() is not None:
         site_id = register_call_site(_current_site() or "-", "gemm", routine, m, n, k)
 
+    # The one per-GEMM backend read: everything below receives `be`.
+    be = _backend._active
     t0 = time.perf_counter()
     if site_id:
         with site_scope(site_id):
-            out = _compute(a_h, b_h, effective, dtype)
+            out = _compute(a_h, b_h, effective, dtype, be)
     else:
-        out = _compute(a_h, b_h, effective, dtype)
+        out = _compute(a_h, b_h, effective, dtype, be)
     wall = time.perf_counter() - t0
 
     if alpha != 1.0:
@@ -340,6 +360,7 @@ def gemm(
                 model_seconds=model_seconds,
                 site=_current_site(),
                 site_id=site_id,
+                backend=be.cache_key,
             )
         )
     return out

@@ -4,6 +4,16 @@ These are *not* mode-sensitive (oneMKL's alternative compute modes
 apply to level-3 routines only — the paper, Section III-B); they exist
 so the application layer reads like code written against a BLAS and so
 the profiling layer can account for their bandwidth cost.
+
+Backend routing: the sum-reductions (``nrm2``/``asum``) fold through
+the active :class:`~repro.blas.backend.ArrayBackend`'s ``reduce`` —
+for NumPy that is the literal ``np.sum`` the code always ran, so the
+results are unchanged bit for bit.  The in-place updates and dot
+products (``axpy``/``scal``/``dotc``/``dotu``) deliberately stay
+host-side NumPy even under an offload backend: they are O(n)
+bandwidth-bound touches of arrays that live in host memory, where the
+conversion to a device tensor costs more than the operation (see
+docs/BACKENDS.md, "What is offloaded").
 """
 
 from __future__ import annotations
@@ -11,6 +21,8 @@ from __future__ import annotations
 from typing import Union
 
 import numpy as np
+
+from repro.blas import backend as _backend
 
 __all__ = ["axpy", "dotc", "dotu", "nrm2", "scal", "asum"]
 
@@ -45,10 +57,17 @@ def dotu(x: np.ndarray, y: np.ndarray) -> Scalar:
     return complex(out) if np.iscomplexobj(out) else float(out)
 
 
+def _reduce_sum(x: np.ndarray) -> float:
+    """Backend-routed total of a real array (NumPy path == ``np.sum``)."""
+    be = _backend._active
+    return float(be.to_numpy(be.reduce(be.to_native(x))))
+
+
 def nrm2(x: np.ndarray) -> float:
     """Euclidean norm, accumulated in FP64 for stability (as LAPACK does)."""
     x = np.asarray(x).ravel()
-    return float(np.sqrt(np.sum(np.abs(x.astype(np.complex128 if np.iscomplexobj(x) else np.float64)) ** 2)))
+    sq = np.abs(x.astype(np.complex128 if np.iscomplexobj(x) else np.float64)) ** 2
+    return float(np.sqrt(_reduce_sum(sq)))
 
 
 def scal(alpha: Scalar, x: np.ndarray) -> np.ndarray:
@@ -61,5 +80,5 @@ def asum(x: np.ndarray) -> float:
     """Sum of absolute values (|real| + |imag| for complex, as BLAS does)."""
     x = np.asarray(x).ravel()
     if np.iscomplexobj(x):
-        return float(np.sum(np.abs(x.real)) + np.sum(np.abs(x.imag)))
-    return float(np.sum(np.abs(x)))
+        return _reduce_sum(np.abs(x.real)) + _reduce_sum(np.abs(x.imag))
+    return _reduce_sum(np.abs(x))

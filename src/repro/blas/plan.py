@@ -31,6 +31,14 @@ Caching cannot change results: every derived form is produced by
 exactly the array operations the cold path would run (same casts, same
 ``ascontiguousarray`` packing, same split order), so downstream
 ``np.matmul`` calls see byte-identical inputs either way.
+
+Backend-native mirrors: when a non-NumPy :class:`~repro.blas.backend.
+ArrayBackend` is active, the compute kernels ask the plan for *native*
+copies of these derived forms (``contiguous_native`` / ``part_native``
+/ ``split_stack_native``).  Mirrors are cached under keys that include
+``backend.cache_key``, so a frozen operand is staged onto a device once
+per SCF block and a backend switch can never serve another backend's
+arrays (see :meth:`PreparedOperand.native_mirror`).
 """
 
 from __future__ import annotations
@@ -301,6 +309,47 @@ class PreparedOperand:
             )
         return got
 
+    def native_mirror(self, backend, key: tuple, array: np.ndarray):
+        """Backend-native copy of a derived NumPy form, cached per backend.
+
+        ``key`` must be the derived form's own cache key; the native
+        entry lives under ``("native", backend.cache_key) + key``, so
+        (a) a frozen operand is staged onto a device at most once per
+        SCF block, and (b) two backends can never alias one cached
+        buffer — the cache key *is* the isolation boundary (the same
+        invariant the workspace pool enforces, see
+        :class:`repro.blas.workspace.Workspace`).  Mirrors are derived
+        forms like any other: :meth:`invalidate` drops them with the
+        NumPy originals.
+
+        NumPy-native backends short-circuit: the derived form is
+        already the native array, so this is one attribute check.
+        """
+        if backend.capabilities.native_is_numpy:
+            return array
+        k = ("native", backend.cache_key) + key
+        got = self._derived.get(k)
+        t = _telemetry_active()
+        if got is None:
+            if t is not None:
+                t.count(
+                    "blas.plan.native",
+                    result="build",
+                    backend=backend.cache_key,
+                    site=_current_site_id() or "-",
+                )
+            got = backend.to_native(array)
+            with self._lock:
+                got = self._derived.setdefault(k, got)
+        elif t is not None:
+            t.count(
+                "blas.plan.native",
+                result="hit",
+                backend=backend.cache_key,
+                site=_current_site_id() or "-",
+            )
+        return got
+
     def is_finite(self) -> bool:
         """Memoised ``np.isfinite(A).all()`` (the opt-in input check)."""
         return self._derive(("finite",), lambda: bool(np.isfinite(self.array).all()))
@@ -334,6 +383,33 @@ class OrientedOperand:
     def split_stack(self, keep_bits: int, n_terms: int, part: Optional[str] = None) -> np.ndarray:
         return self.plan.split_stack(
             self.trans, keep_bits, n_terms, part=part, dtype=self.dtype
+        )
+
+    # -- backend-native forms ------------------------------------------
+    #
+    # Same derived forms, staged into the active backend's array type.
+    # For the NumPy backend these return the arrays above unchanged
+    # (one capability-flag check); for device backends the plan caches
+    # the converted/staged copy per backend (see ``native_mirror``).
+
+    def contiguous_native(self, backend):
+        arr = self.contiguous()
+        return self.plan.native_mirror(
+            backend, ("oriented", self.trans, self.dtype.str), arr
+        )
+
+    def part_native(self, backend, which: str):
+        arr = self.part(which)
+        return self.plan.native_mirror(
+            backend, ("part", self.trans, self.dtype.str, which), arr
+        )
+
+    def split_stack_native(
+        self, backend, keep_bits: int, n_terms: int, part: Optional[str] = None
+    ):
+        arr = self.split_stack(keep_bits, n_terms, part=part)
+        return self.plan.native_mirror(
+            backend, ("split", self.trans, keep_bits, n_terms, part), arr
         )
 
 

@@ -56,8 +56,11 @@ def split_gemm_real(
 
     Routed through the split-plan layer: operand splits are cached
     (:mod:`repro.blas.plan`) and the component products run on the
-    fused engine (:mod:`repro.blas.workspace`).  Results are bitwise
-    identical to :func:`split_gemm_reference`.
+    fused engine (:mod:`repro.blas.workspace`) under the ambient
+    :func:`repro.blas.backend.active_backend`.  Results are bitwise
+    identical to :func:`split_gemm_reference` on the NumPy backend;
+    other backends carry the documented tolerance contracts
+    (docs/BACKENDS.md).
 
     Parameters
     ----------
@@ -99,7 +102,9 @@ def split_gemm_reference(
 
     This is the original (pre-plan) implementation, kept as the golden
     oracle: :func:`split_gemm_real`'s fused/cached path must match it
-    *bitwise* for all inputs (see the property tests).
+    *bitwise* for all inputs (see the property tests).  It is pure
+    NumPy *on purpose* — the oracle must stay backend-independent, so
+    it never consults :mod:`repro.blas.backend`.
     """
     if a.ndim < 2 or b.ndim < 2:
         raise ValueError(

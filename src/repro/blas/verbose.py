@@ -67,6 +67,7 @@ class VerboseRecord:
     site: str = ""        #: application call site (nlp_prop / calc_energy / remap_occ)
     batch: int = 1        #: > 1 for gemm_batch calls
     site_id: str = ""     #: stable provenance ID (repro.telemetry.provenance)
+    backend: str = "numpy"  #: executing array backend (ArrayBackend.cache_key)
 
     @property
     def flops(self) -> float:
@@ -165,9 +166,12 @@ def format_verbose_line(rec: VerboseRecord) -> str:
     mode = "" if rec.mode is ComputeMode.STANDARD else f" mode:{rec.mode.env_value}"
     site = f" site:{rec.site}" if rec.site else ""
     batch = f" batch:{rec.batch}" if rec.batch > 1 else ""
+    # The default (numpy) backend is silent so the MKL look-alike line
+    # format stays bit-for-bit what the pre-backend parser expects.
+    backend = f" backend:{rec.backend}" if rec.backend not in ("", "numpy") else ""
     name = rec.routine.upper() + ("_BATCH" if rec.batch > 1 else "")
     return (
         f"MKL_VERBOSE {name}"
         f"({rec.trans_a},{rec.trans_b},{rec.m},{rec.n},{rec.k}) "
-        f"{timing}{mode}{site}{batch}"
+        f"{timing}{mode}{site}{batch}{backend}"
     )

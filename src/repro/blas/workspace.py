@@ -7,8 +7,8 @@ is immediately folded into a running sum and discarded.  This module
 removes both costs:
 
 * a thread-local :class:`Workspace` hands out reusable scratch buffers
-  keyed by ``(tag, shape, dtype)`` — the product temporaries and the
-  gathered component stacks live there across calls;
+  keyed by ``(backend, tag, shape, dtype)`` — the product temporaries
+  and the gathered component stacks live there across calls;
 * :func:`fused_pair_products` evaluates all ``n(n+1)/2`` component
   pairs either as **one batched 3-D** ``np.matmul`` over stacked
   operands or as an ``out=``-accumulated loop (configurable; ``auto``
@@ -24,6 +24,13 @@ The accumulation visits pairs in :func:`repro.blas.split.component_pairs`
 order, so every intermediate sum matches the naive loop bit-for-bit.
 The golden property tests (``tests/property/test_prop_plan_golden.py``)
 enforce this against the naive reference for every mode.
+
+Backend dispatch: every array operation here (allocate, gather,
+batched matmul, in-place accumulate) goes through an
+:class:`~repro.blas.backend.ArrayBackend`.  The NumPy backend's
+methods are the literal calls described above, so the bitwise contract
+is untouched; device backends trade it for the documented tolerance
+contracts in docs/BACKENDS.md while keeping the identical pair order.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.blas import backend as _backend
 from repro.telemetry.provenance import current_site_id as _current_site_id
 from repro.telemetry.registry import active as _telemetry_active
 from repro.types import MANTISSA_BITS, Precision
@@ -59,28 +67,49 @@ _tls = threading.local()
 
 
 class Workspace:
-    """Reusable scratch buffers keyed by ``(tag, shape, dtype)``.
+    """Reusable scratch buffers keyed by ``(backend, tag, shape, dtype)``.
 
     Buffers are only ever lent out for the duration of one engine call
     and never returned to callers, so reuse cannot alias results.
+
+    Invariant: the key *must* include the owning backend's
+    ``cache_key``.  Buffers are backend-native arrays (``np.empty`` for
+    NumPy, device tensors for torch-cuda); a ``(tag, shape, dtype)``
+    match across backends is a different allocation entirely, and a
+    backend switch mid-process must never hand one backend's buffer to
+    another's kernels.  ``tests/unit/test_blas_backend.py`` pins this.
     """
 
     def __init__(self):
         self._buffers = {}
 
-    def get(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
-        key = (tag, tuple(shape), np.dtype(dtype).str)
+    def get(self, tag: str, shape: Tuple[int, ...], dtype, backend=None):
+        be = _backend.NUMPY_BACKEND if backend is None else backend
+        key = (be.cache_key, tag, tuple(shape), np.dtype(dtype).str)
         buf = self._buffers.get(key)
         t = _telemetry_active()
         if buf is None:
-            buf = np.empty(shape, dtype=dtype)
+            buf = be.empty(shape, dtype=dtype)
             self._buffers[key] = buf
             if t is not None:
                 site = _current_site_id() or "-"
-                t.count("blas.workspace.allocations", tag=tag, site=site)
-                t.count("blas.workspace.allocated_bytes", buf.nbytes, tag=tag, site=site)
+                t.count(
+                    "blas.workspace.allocations", tag=tag, site=site, backend=be.cache_key
+                )
+                t.count(
+                    "blas.workspace.allocated_bytes",
+                    be.nbytes(buf),
+                    tag=tag,
+                    site=site,
+                    backend=be.cache_key,
+                )
         elif t is not None:
-            t.count("blas.workspace.reuses", tag=tag, site=_current_site_id() or "-")
+            t.count(
+                "blas.workspace.reuses",
+                tag=tag,
+                site=_current_site_id() or "-",
+                backend=be.cache_key,
+            )
         return buf
 
     def clear(self) -> None:
@@ -88,7 +117,10 @@ class Workspace:
 
     @property
     def nbytes(self) -> int:
-        return sum(b.nbytes for b in self._buffers.values())
+        return sum(
+            buf.nbytes if isinstance(buf, np.ndarray) else buf.numel() * buf.element_size()
+            for buf in self._buffers.values()
+        )
 
 
 def get_workspace() -> Workspace:
@@ -134,20 +166,21 @@ def fused_mode(mode: str) -> Iterator[None]:
         set_fused_mode(prev)
 
 
-def _should_batch(a_terms: np.ndarray, b_terms: np.ndarray, n_pairs: int, out_shape) -> bool:
+def _should_batch(a_terms, b_terms, n_pairs: int, out_shape, be) -> bool:
     if _fused_mode == "batched":
         return True
     if _fused_mode == "loop":
         return False
-    slice_bytes = a_terms[0].nbytes + b_terms[0].nbytes
-    prod_bytes = int(np.prod(out_shape)) * a_terms.dtype.itemsize
+    slice_bytes = be.nbytes(a_terms[0]) + be.nbytes(b_terms[0])
+    prod_bytes = int(np.prod(out_shape)) * be.result_dtype(a_terms, b_terms).itemsize
     return n_pairs * (slice_bytes + prod_bytes) <= BATCH_BYTES_CAP
 
 
 def fused_pair_products(
-    a_terms: np.ndarray,
-    b_terms: np.ndarray,
+    a_terms,
+    b_terms,
     pairs: Sequence[Tuple[int, int]],
+    backend=None,
 ) -> np.ndarray:
     """``sum(a_terms[i-1] @ b_terms[j-1] for (i, j) in pairs)``, in order.
 
@@ -156,45 +189,55 @@ def fused_pair_products(
     a_terms, b_terms:
         C-contiguous stacked split terms, ``(n_terms, ..., m, k)`` and
         ``(n_terms, ..., k, n)`` (the trailing two axes are the matrix;
-        any leading batch axes broadcast through ``np.matmul``).
+        any leading batch axes broadcast through the batched matmul),
+        in ``backend``'s native array type.
     pairs:
         1-based component pairs in most-significant-first order
         (:func:`repro.blas.split.component_pairs`).
+    backend:
+        The :class:`~repro.blas.backend.ArrayBackend` executing the
+        products (default: NumPy — matching plain-ndarray callers).
+        Every operation below (gather, batched matmul, in-place
+        accumulate) goes through it; for NumPy each is the identical
+        call the pre-backend engine ran.
 
-    Returns a freshly allocated array (never a workspace buffer).
+    Returns a freshly allocated NumPy array (never a workspace buffer).
     """
-    out_shape = np.broadcast_shapes(a_terms.shape[1:-2], b_terms.shape[1:-2]) + (
+    be = _backend.NUMPY_BACKEND if backend is None else backend
+    out_shape = np.broadcast_shapes(
+        tuple(a_terms.shape[1:-2]), tuple(b_terms.shape[1:-2])
+    ) + (
         a_terms.shape[-2],
         b_terms.shape[-1],
     )
     n_pairs = len(pairs)
     if n_pairs == 1:
         i, j = pairs[0]
-        return np.matmul(a_terms[i - 1], b_terms[j - 1])
+        return be.to_numpy(be.matmul(a_terms[i - 1], b_terms[j - 1]))
     ws = get_workspace()
-    dtype = np.result_type(a_terms.dtype, b_terms.dtype)
+    dtype = be.result_dtype(a_terms, b_terms)
 
-    if _should_batch(a_terms, b_terms, n_pairs, out_shape):
+    if _should_batch(a_terms, b_terms, n_pairs, out_shape, be):
         idx_a = np.array([i - 1 for i, _ in pairs])
         idx_b = np.array([j - 1 for _, j in pairs])
-        a_stack = ws.get("a_stack", (n_pairs,) + a_terms.shape[1:], a_terms.dtype)
-        b_stack = ws.get("b_stack", (n_pairs,) + b_terms.shape[1:], b_terms.dtype)
-        np.take(a_terms, idx_a, axis=0, out=a_stack)
-        np.take(b_terms, idx_b, axis=0, out=b_stack)
-        prods = ws.get("prods", (n_pairs,) + out_shape, dtype)
-        np.matmul(a_stack, b_stack, out=prods)
-        out = prods[0].copy()
+        a_stack = ws.get("a_stack", (n_pairs,) + tuple(a_terms.shape[1:]), a_terms.dtype, be)
+        b_stack = ws.get("b_stack", (n_pairs,) + tuple(b_terms.shape[1:]), b_terms.dtype, be)
+        be.take(a_terms, idx_a, out=a_stack)
+        be.take(b_terms, idx_b, out=b_stack)
+        prods = ws.get("prods", (n_pairs,) + out_shape, dtype, be)
+        be.batched_matmul(a_stack, b_stack, out=prods)
+        out = be.copy(prods[0])
         for p in range(1, n_pairs):
-            np.add(out, prods[p], out=out)
-        return out
+            be.add_(out, prods[p])
+        return be.to_numpy(out)
 
     i0, j0 = pairs[0]
-    out = np.matmul(a_terms[i0 - 1], b_terms[j0 - 1])
-    prod = ws.get("prod", out_shape, dtype)
+    out = be.matmul(a_terms[i0 - 1], b_terms[j0 - 1])
+    prod = ws.get("prod", out_shape, dtype, be)
     for i, j in pairs[1:]:
-        np.matmul(a_terms[i - 1], b_terms[j - 1], out=prod)
-        np.add(out, prod, out=out)
-    return out
+        be.matmul(a_terms[i - 1], b_terms[j - 1], out=prod)
+        be.add_(out, prod)
+    return be.to_numpy(out)
 
 
 def split_gemm_fused(
@@ -205,6 +248,7 @@ def split_gemm_fused(
     *,
     part_a: Optional[str] = None,
     part_b: Optional[str] = None,
+    backend=None,
 ) -> np.ndarray:
     """Split-precision real GEMM over prepared operand handles.
 
@@ -212,10 +256,14 @@ def split_gemm_fused(
     operand (``'re'``/``'im'``); ``None`` means the operand itself is
     real.  Split stacks come from the handles' plans, so a frozen
     operand's rounding/splitting work is paid once per SCF block
-    instead of once per call.
+    instead of once per call.  The splits themselves are always derived
+    in NumPy (bit-exact everywhere); ``backend`` only executes the
+    component products, consuming per-backend native mirrors of the
+    stacks (cached on the plan, so device staging is once per block).
     """
     from repro.blas.split import component_pairs
 
+    be = _backend._active if backend is None else backend
     t = _telemetry_active()
     if t is not None:
         t.count(
@@ -223,12 +271,13 @@ def split_gemm_fused(
             precision=precision.name,
             n_terms=n_terms,
             site=_current_site_id() or "-",
+            backend=be.cache_key,
         )
     keep = MANTISSA_BITS[precision]
-    a_terms = a_handle.split_stack(keep, n_terms, part=part_a)
-    b_terms = b_handle.split_stack(keep, n_terms, part=part_b)
+    a_terms = a_handle.split_stack_native(be, keep, n_terms, part=part_a)
+    b_terms = b_handle.split_stack_native(be, keep, n_terms, part=part_b)
     if a_terms.shape[-1] != b_terms.shape[-2]:
         raise ValueError(
-            f"inner dimensions differ: {a_terms.shape[1:]} @ {b_terms.shape[1:]}"
+            f"inner dimensions differ: {tuple(a_terms.shape[1:])} @ {tuple(b_terms.shape[1:])}"
         )
-    return fused_pair_products(a_terms, b_terms, component_pairs(n_terms))
+    return fused_pair_products(a_terms, b_terms, component_pairs(n_terms), backend=be)

@@ -269,6 +269,7 @@ class Simulation:
         diagnostics=None,
         drift: Union[bool, DriftMonitor, None] = None,
         adaptive: Union[bool, "AdaptiveScheduler", None] = None,  # noqa: F821
+        backend: Union[str, "ArrayBackend", None] = None,  # noqa: F821
     ) -> SimulationResult:
         """Run the MD loop for ``n_steps`` QD steps (default: config).
 
@@ -304,7 +305,29 @@ class Simulation:
         ``budget_mode`` (the fixed accuracy contract), not from the
         run's nominal mode.  ``mode`` and an unclamped scheduler are
         mutually exclusive — the scheduler owns the per-site modes.
+
+        ``backend`` selects the :class:`~repro.blas.backend.ArrayBackend`
+        executing the level-3 BLAS products for this run (name or
+        instance), scoped like ``mode``: installed on entry, restored on
+        exit.  ``None`` keeps the ambient backend (``REPRO_BACKEND`` /
+        :func:`repro.blas.set_backend`).  Selection never changes the
+        numerics *policy* — rounding, splitting and pair ordering stay
+        NumPy-side — only who multiplies the component matrices.
         """
+        if backend is not None:
+            from repro.blas.backend import use_backend
+
+            with use_backend(backend):
+                return self.run(
+                    mode=mode,
+                    n_steps=n_steps,
+                    progress=progress,
+                    checkpoint_path=checkpoint_path,
+                    resume_from=resume_from,
+                    diagnostics=diagnostics,
+                    drift=drift,
+                    adaptive=adaptive,
+                )
         cfg = self.config
         ground = self.setup()
         mesh = self.mesh

@@ -60,6 +60,17 @@ def build_parser() -> argparse.ArgumentParser:
         "run",
     )
     parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="array backend executing the level-3 BLAS products for the "
+        "whole invocation: 'numpy' (reference, default), 'torch' "
+        "(auto-selects CUDA when available, else CPU), 'torch-cpu' or "
+        "'torch-cuda'.  Equivalent to REPRO_BACKEND=NAME but strict: an "
+        "unavailable backend aborts instead of degrading to numpy.  "
+        "Numerics policy (rounding, splitting, pair ordering) is "
+        "backend-independent; see docs/BACKENDS.md for the tolerance "
+        "contracts",
+    )
+    parser.add_argument(
         "--drift-budget", action="store_true",
         help="monitor observable drift against the per-mode error budget "
         "during simulation-backed experiments (REPRO_DRIFT=1 equivalent); "
@@ -85,6 +96,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"valid ids: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
+
+    if args.backend is not None:
+        # Strict selection: a CLI request for an unavailable backend is
+        # an error the user wants to hear about, unlike the ambient
+        # REPRO_BACKEND env which degrades to numpy with a warning.
+        from repro.blas.backend import BackendUnavailable, get_backend, use_backend
+
+        try:
+            backend_scope = use_backend(get_backend(args.backend))
+        except (BackendUnavailable, ValueError) as exc:
+            print(f"--backend {args.backend}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        backend_scope = contextlib.nullcontext()
 
     if args.telemetry is not None:
         # One collector spans every requested experiment; the traces
@@ -112,7 +137,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         set_adaptive_enabled(True)
 
-    with scope:
+    with backend_scope, scope:
         if args.jobs > 1 and len(names) > 1:
             # Independent artifacts fan out over a thread pool (NumPy
             # releases the GIL in the GEMMs); outputs are printed in the

@@ -321,12 +321,23 @@ class Telemetry:
         record (see :meth:`verbose_records`).
         """
         mode = getattr(rec.mode, "env_value", str(rec.mode))
-        self.count("blas.calls", routine=rec.routine, site=rec.site or "-", mode=mode)
+        backend = getattr(rec, "backend", "numpy") or "numpy"
+        self.count(
+            "blas.calls",
+            routine=rec.routine,
+            site=rec.site or "-",
+            mode=mode,
+            backend=backend,
+        )
         self.count("blas.flops", rec.flops, routine=rec.routine)
         itemsize = _ROUTINE_ITEMSIZE.get(rec.routine, 8)
         nbytes = itemsize * rec.batch * (rec.m * rec.k + rec.k * rec.n + rec.m * rec.n)
         self.count("blas.bytes", nbytes, routine=rec.routine)
         self.observe("blas.seconds", rec.seconds)
+        # Per-backend wall attribution: the run report and the pareto
+        # experiment split emulation time by executing backend.
+        self.count("blas.backend.calls", backend=backend)
+        self.count("blas.backend.seconds", rec.seconds, backend=backend)
         if rec.model_seconds is not None:
             self.observe("blas.model_seconds", rec.model_seconds)
         # Per-call-site provenance: stable ID keyed series, the basis of
@@ -367,6 +378,7 @@ class Telemetry:
                     "site_id": site_id,
                     "batch": rec.batch,
                     "model_seconds": rec.model_seconds,
+                    "backend": backend,
                 },
             }
         )
@@ -400,6 +412,7 @@ class Telemetry:
                     site=a["site"],
                     batch=a["batch"],
                     site_id=a.get("site_id", ""),
+                    backend=a.get("backend", "numpy"),
                 )
             )
         return records

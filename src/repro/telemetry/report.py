@@ -132,6 +132,42 @@ def _site_table(counters: Dict[str, float]) -> List[str]:
     return lines
 
 
+def _backend_table(counters: Dict[str, float]) -> List[str]:
+    """Per-backend attribution from ``blas.backend.*`` counters.
+
+    One row per executing :class:`~repro.blas.backend.ArrayBackend`
+    (``cache_key``), so a mixed run — e.g. numpy warm-up followed by a
+    ``use_backend("torch")`` block — shows where the BLAS wall time
+    actually went.
+    """
+    backends: Dict[str, Dict[str, float]] = {}
+    for flat, value in counters.items():
+        if not flat.startswith("blas.backend."):
+            continue
+        name, labels = parse_counter_name(flat)
+        metric = name[len("blas.backend."):]
+        backend = dict(labels).get("backend", "-")
+        backends.setdefault(backend, {})[metric] = value
+    if not backends:
+        return [
+            "_No per-backend BLAS data (telemetry was not active during GEMMs)._"
+        ]
+    total_s = sum(m.get("seconds", 0.0) for m in backends.values())
+    ordered = sorted(
+        backends.items(),
+        key=lambda kv: kv[1].get("seconds", 0.0),
+        reverse=True,
+    )
+    rows = []
+    for backend, m in ordered:
+        seconds = m.get("seconds", 0.0)
+        share = f"{100.0 * seconds / total_s:.1f}%" if total_s > 0 else "-"
+        rows.append(
+            [f"`{backend}`", _fmt(m.get("calls", 0.0)), f"{seconds:.4g}", share]
+        )
+    return _md_table(["backend", "calls", "wall s", "share"], rows)
+
+
 def _drift_section(
     events: List[dict], gauges: Dict[str, float]
 ) -> List[str]:
@@ -368,6 +404,11 @@ def render_run_report(data: dict) -> str:
     lines.append("## BLAS hot call sites")
     lines.append("")
     lines.extend(_site_table(counters))
+    lines.append("")
+
+    lines.append("## Backend attribution")
+    lines.append("")
+    lines.extend(_backend_table(counters))
     lines.append("")
 
     lines.append("## Phase timings")

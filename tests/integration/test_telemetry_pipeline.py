@@ -40,7 +40,8 @@ class TestNineCallsPerStep:
         t = sim_collector
         per_site = {
             site: t.counter_value(
-                "blas.calls", routine="cgemm", site=site, mode="STANDARD"
+                "blas.calls", routine="cgemm", site=site, mode="STANDARD",
+                backend="numpy"
             )
             for site in ("nlp_prop", "calc_energy", "remap_occ")
         }

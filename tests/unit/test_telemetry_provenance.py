@@ -170,5 +170,6 @@ class TestGemmWiring:
         # The split engine ran inside the site scope: its counter is
         # attributed to the triggering BLAS call.
         assert t.counter_value(
-            "blas.split_gemm_fused", precision="BF16", n_terms=1, site=sid
+            "blas.split_gemm_fused", precision="BF16", n_terms=1, site=sid,
+            backend="numpy"
         ) >= 1
