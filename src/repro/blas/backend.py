@@ -32,12 +32,22 @@ Selection contract (see docs/BACKENDS.md):
 * ``runner --backend`` / ``Simulation.run(backend=...)`` — thin
   wrappers over the two above.
 
-Hot-path contract: the default path costs one module-attribute read
-per GEMM (``_active``); every kernel captures the backend once and
-passes it down, so no per-operation lookups happen inside the fused
-engine.  Caches that hold backend-owned buffers (the workspace pool,
-the plan layer's native mirrors) key by :attr:`ArrayBackend.cache_key`,
-so switching backends mid-process can never hand one backend's arrays
+Thread scoping: ``set_backend`` (and the env var) install the
+**process-wide default**, visible to every thread; ``use_backend``
+installs a **thread-local override** and restores it on exit, so
+concurrent scoped selections in different threads can never interleave
+or restore each other's state.  Code that fans work out to a thread
+pool from inside a ``use_backend`` scope must capture
+:func:`active_backend` at submission and re-enter it in the worker
+(``blas_sweep.parallel_mode_sweep`` and ``runner --jobs`` do).
+
+Hot-path contract: the default path costs one :func:`active_backend`
+call per GEMM (a thread-local attribute probe falling back to one
+module read); every kernel captures the backend once and passes it
+down, so no per-operation lookups happen inside the fused engine.
+Caches that hold backend-owned buffers (the workspace pool, the plan
+layer's native mirrors) key by :attr:`ArrayBackend.cache_key`, so
+switching backends mid-process can never hand one backend's arrays
 to another.
 """
 
@@ -154,6 +164,20 @@ class ArrayBackend:
     def result_dtype(self, a, b) -> np.dtype:
         """NumPy result dtype of combining two native arrays."""
         raise NotImplementedError
+
+    def np_dtype(self, x) -> np.dtype:
+        """NumPy dtype equivalent of a native array's element type.
+
+        Workspace keys and allocation requests are always expressed in
+        NumPy terms (:meth:`empty` takes a NumPy dtype), so callers
+        holding a *native* array must translate through this hook
+        rather than passing ``x.dtype`` along — a torch tensor's
+        ``dtype`` is a ``torch.dtype`` that ``np.dtype`` cannot
+        interpret.  The default handles any native type whose ``dtype``
+        attribute is NumPy-compatible; backends with foreign dtype
+        objects must override.
+        """
+        return np.dtype(x.dtype)
 
     # -- compute -------------------------------------------------------
 
@@ -286,7 +310,7 @@ def get_backend(name: Union[str, ArrayBackend, None]) -> ArrayBackend:
     ``None`` and backend instances pass through.
     """
     if name is None:
-        return _active
+        return active_backend()
     if isinstance(name, ArrayBackend):
         return name
     key = name.strip().lower()
@@ -319,56 +343,75 @@ def available_backends() -> Dict[str, str]:
     return out
 
 
-#: The ambient backend.  Module attribute on purpose: the GEMM entry
-#: points read it once per call (``_backend._active``), which is the
-#: entire cost of the seam when no offload is configured.
-_active: ArrayBackend = NUMPY_BACKEND
+#: The process-wide default backend (``set_backend`` / the env var).
+#: Threads with no scoped override dispatch here.
+_default: ArrayBackend = NUMPY_BACKEND
+
+#: Per-thread scoped override (``use_backend``).  Selection must be
+#: thread-scoped because the workspace pool is: two threads running
+#: concurrent ``use_backend`` scopes against a shared global would
+#: interleave their restores and leak one thread's selection into the
+#: other's GEMMs.
+_tls = threading.local()
 
 
 def active_backend() -> ArrayBackend:
-    """The backend GEMMs currently dispatch to."""
-    return _active
+    """The backend this thread's GEMMs currently dispatch to.
+
+    One thread-local attribute probe falling back to one module read —
+    the entire per-call cost of the seam when no offload is configured.
+    """
+    override = getattr(_tls, "backend", None)
+    return _default if override is None else override
 
 
 def set_backend(name: Union[str, ArrayBackend]) -> ArrayBackend:
-    """Select the process-wide backend; returns the resolved instance.
+    """Select the process-wide default backend; returns the instance.
 
-    Explicit selection is strict: an unavailable backend raises
-    :class:`BackendUnavailable` (use :data:`REPRO_BACKEND_ENV` for the
-    degrade-to-numpy behaviour).
+    Visible to every thread that has no :func:`use_backend` override in
+    effect.  Explicit selection is strict: an unavailable backend
+    raises :class:`BackendUnavailable` (use :data:`REPRO_BACKEND_ENV`
+    for the degrade-to-numpy behaviour).
     """
-    global _active
-    _active = get_backend(name)
-    return _active
+    global _default
+    _default = get_backend(name)
+    return _default
 
 
 @contextlib.contextmanager
 def use_backend(name: Union[str, ArrayBackend]) -> Iterator[ArrayBackend]:
-    """Scoped :func:`set_backend` (restores the previous backend)."""
-    global _active
-    prev = _active
-    backend = set_backend(name)
+    """Scoped backend selection for the calling thread.
+
+    Installs a thread-local override and restores the previous one on
+    exit, so concurrent scopes in different threads cannot observe or
+    clobber each other.  The override does **not** propagate into
+    threads spawned inside the scope — capture :func:`active_backend`
+    at submission and re-enter it in the worker.
+    """
+    prev = getattr(_tls, "backend", None)
+    backend = get_backend(name)
+    _tls.backend = backend
     try:
         yield backend
     finally:
-        _active = prev
+        _tls.backend = prev
 
 
 def refresh_from_env() -> ArrayBackend:
-    """Re-read :data:`REPRO_BACKEND_ENV` and install the result.
+    """Re-read :data:`REPRO_BACKEND_ENV` and install the default.
 
     Called once at import.  Unlike :func:`set_backend`, an environment
     request that cannot be satisfied degrades to NumPy with a warning:
     a globally exported ``REPRO_BACKEND=torch`` must not break hosts
     without torch.
     """
-    global _active
+    global _default
     raw = os.environ.get(REPRO_BACKEND_ENV, "").strip()
     if not raw:
-        _active = NUMPY_BACKEND
-        return _active
+        _default = NUMPY_BACKEND
+        return _default
     try:
-        _active = get_backend(raw)
+        _default = get_backend(raw)
     except (BackendUnavailable, ValueError) as exc:
         warnings.warn(
             f"{REPRO_BACKEND_ENV}={raw!r} unavailable ({exc}); "
@@ -376,8 +419,8 @@ def refresh_from_env() -> ArrayBackend:
             RuntimeWarning,
             stacklevel=2,
         )
-        _active = NUMPY_BACKEND
-    return _active
+        _default = NUMPY_BACKEND
+    return _default
 
 
 refresh_from_env()

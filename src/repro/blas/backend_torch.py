@@ -22,7 +22,12 @@ products run wherever torch puts them:
   IEEE FP32 machine or the error model stops being analytic.  Pass
   ``allow_tf32=True`` to measure real tensor-core behaviour — the
   backend then reports ``ieee_fp32_accumulation=False`` and only the
-  relaxed tolerance contract applies.
+  relaxed tolerance contract applies.  The switch itself
+  (``torch.backends.cuda.matmul.allow_tf32``) is process-global in
+  torch, so the backend never sets it at construction; each matmul
+  dispatch pins it to the instance's setting and restores it after,
+  so two instances with different settings (or foreign torch code)
+  can never flip each other's arithmetic.
 
 Import of this module requires torch; :func:`repro.blas.backend.get_backend`
 wraps the import so ``repro.blas`` itself never pays for (or fails on)
@@ -82,11 +87,11 @@ class TorchBackend(ArrayBackend):
             )
         self.device = torch.device(device)
         self._is_cuda = self.device.type == "cuda"
+        # Never written to torch's process-global switch here: a second
+        # instance with a different setting would silently change the
+        # arithmetic of every cached one.  matmul() pins the global to
+        # this value per dispatch instead.
         self.allow_tf32 = bool(allow_tf32) and self._is_cuda
-        if self._is_cuda:
-            # Process-global in torch; set explicitly so the capability
-            # flag below states what actually runs.
-            torch.backends.cuda.matmul.allow_tf32 = self.allow_tf32
         self.capabilities = BackendCapabilities(
             ieee_fp32_accumulation=not self.allow_tf32,
             bitwise_numpy=False,
@@ -139,12 +144,34 @@ class TorchBackend(ArrayBackend):
     def result_dtype(self, a, b) -> np.dtype:
         return self._torch_to_np[self.torch.result_type(a, b)]
 
+    def np_dtype(self, x) -> np.dtype:
+        try:
+            return self._torch_to_np[x.dtype]
+        except KeyError:
+            raise TypeError(
+                f"torch backend has no NumPy mapping for dtype {x.dtype}"
+            ) from None
+
     # -- compute -------------------------------------------------------
 
     def matmul(self, a, b, out=None):
-        if out is None:
-            return self.torch.matmul(a, b)
-        return self.torch.matmul(a, b, out=out)
+        if not self._is_cuda:
+            if out is None:
+                return self.torch.matmul(a, b)
+            return self.torch.matmul(a, b, out=out)
+        # allow_tf32 is process-global in torch: pin it to this
+        # instance's setting for the duration of the dispatch and
+        # restore it after, so the capability flag always states what
+        # actually ran regardless of what else touched the global.
+        mm = self.torch.backends.cuda.matmul
+        prev = mm.allow_tf32
+        mm.allow_tf32 = self.allow_tf32
+        try:
+            if out is None:
+                return self.torch.matmul(a, b)
+            return self.torch.matmul(a, b, out=out)
+        finally:
+            mm.allow_tf32 = prev
 
     def take(self, x, indices, out):
         idx = self.torch.as_tensor(np.ascontiguousarray(indices), device=self.device)

@@ -92,7 +92,7 @@ def gemm_batch(
             _current_site() or "-", "gemm_batch", routine, m, n, k, batch
         )
 
-    be = _backend._active
+    be = _backend.active_backend()
     t0 = time.perf_counter()
     if site_id:
         with site_scope(site_id):

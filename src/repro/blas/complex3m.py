@@ -136,7 +136,7 @@ def gemm_4m_split_planned(a_handle, b_handle, precision, n_terms, backend=None) 
     """
     from repro.blas.workspace import split_gemm_fused
 
-    be = _backend._active if backend is None else backend
+    be = _backend.active_backend() if backend is None else backend
     _count_kernel("4m_split_planned")
     cdt = np.dtype(a_handle.dtype)
     cr = split_gemm_fused(
@@ -164,7 +164,7 @@ def gemm_3m_planned(a_handle, b_handle, backend=None) -> np.ndarray:
     ``t3 - t1 - t2`` recombination (the mode's signature cancellation)
     stays in NumPy FP so its behaviour is backend-independent.
     """
-    be = _backend._active if backend is None else backend
+    be = _backend.active_backend() if backend is None else backend
     _count_kernel("3m_planned")
     cdt = np.dtype(a_handle.dtype)
     t1 = be.to_numpy(be.matmul(a_handle.part_native(be, "re"), b_handle.part_native(be, "re")))

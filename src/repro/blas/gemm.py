@@ -200,10 +200,11 @@ def _compute(
     ``be`` is the :class:`~repro.blas.backend.ArrayBackend` executing
     the level-3 products; the entry points capture the ambient backend
     once per call and pass it down, so the default (NumPy) path costs
-    exactly one module-attribute read.
+    exactly one thread-scoped :func:`~repro.blas.backend.active_backend`
+    read.
     """
     if be is None:
-        be = _backend._active
+        be = _backend.active_backend()
     is_complex = dtype.kind == "c"
     is_single = dtype in (np.dtype(np.float32), np.dtype(np.complex64))
 
@@ -321,7 +322,7 @@ def gemm(
         site_id = register_call_site(_current_site() or "-", "gemm", routine, m, n, k)
 
     # The one per-GEMM backend read: everything below receives `be`.
-    be = _backend._active
+    be = _backend.active_backend()
     t0 = time.perf_counter()
     if site_id:
         with site_scope(site_id):

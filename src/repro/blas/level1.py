@@ -5,14 +5,15 @@ apply to level-3 routines only — the paper, Section III-B); they exist
 so the application layer reads like code written against a BLAS and so
 the profiling layer can account for their bandwidth cost.
 
-Backend routing: the sum-reductions (``nrm2``/``asum``) fold through
-the active :class:`~repro.blas.backend.ArrayBackend`'s ``reduce`` —
-for NumPy that is the literal ``np.sum`` the code always ran, so the
-results are unchanged bit for bit.  The in-place updates and dot
-products (``axpy``/``scal``/``dotc``/``dotu``) deliberately stay
-host-side NumPy even under an offload backend: they are O(n)
-bandwidth-bound touches of arrays that live in host memory, where the
-conversion to a device tensor costs more than the operation (see
+Backend routing: every routine here deliberately stays host-side
+NumPy under an offload backend.  They are O(n) bandwidth-bound touches
+of arrays that live in host memory, where staging onto a device costs
+more than the operation — and the convergence checks built on
+``nrm2``/``asum`` must not shift with a device's different summation
+order.  The sum-reductions fold through the active
+:class:`~repro.blas.backend.ArrayBackend`'s ``reduce`` only when its
+native arrays *are* ndarrays (the literal ``np.sum`` the code always
+ran, bit for bit); otherwise they use ``np.sum`` directly (see
 docs/BACKENDS.md, "What is offloaded").
 """
 
@@ -58,9 +59,18 @@ def dotu(x: np.ndarray, y: np.ndarray) -> Scalar:
 
 
 def _reduce_sum(x: np.ndarray) -> float:
-    """Backend-routed total of a real array (NumPy path == ``np.sum``)."""
-    be = _backend._active
-    return float(be.to_numpy(be.reduce(be.to_native(x))))
+    """Total of a real host array, kept host-side under offload.
+
+    ``x`` is always a freshly computed host ndarray, so routing it
+    through a device backend would pay a host-to-device transfer for a
+    bandwidth-bound O(n) fold *and* change the summation order feeding
+    convergence checks.  Only NumPy-native backends (whose ``reduce``
+    is ``np.sum``) take the dispatch path.
+    """
+    be = _backend.active_backend()
+    if be.capabilities.native_is_numpy:
+        return float(be.reduce(x))
+    return float(np.sum(x))
 
 
 def nrm2(x: np.ndarray) -> float:

@@ -220,8 +220,15 @@ def fused_pair_products(
     if _should_batch(a_terms, b_terms, n_pairs, out_shape, be):
         idx_a = np.array([i - 1 for i, _ in pairs])
         idx_b = np.array([j - 1 for _, j in pairs])
-        a_stack = ws.get("a_stack", (n_pairs,) + tuple(a_terms.shape[1:]), a_terms.dtype, be)
-        b_stack = ws.get("b_stack", (n_pairs,) + tuple(b_terms.shape[1:]), b_terms.dtype, be)
+        # Workspace keys/allocations speak NumPy dtypes; the stacks are
+        # backend-native (a torch tensor's .dtype would not survive the
+        # np.dtype() in Workspace.get), so translate via the backend.
+        a_stack = ws.get(
+            "a_stack", (n_pairs,) + tuple(a_terms.shape[1:]), be.np_dtype(a_terms), be
+        )
+        b_stack = ws.get(
+            "b_stack", (n_pairs,) + tuple(b_terms.shape[1:]), be.np_dtype(b_terms), be
+        )
         be.take(a_terms, idx_a, out=a_stack)
         be.take(b_terms, idx_b, out=b_stack)
         prods = ws.get("prods", (n_pairs,) + out_shape, dtype, be)
@@ -263,7 +270,7 @@ def split_gemm_fused(
     """
     from repro.blas.split import component_pairs
 
-    be = _backend._active if backend is None else backend
+    be = _backend.active_backend() if backend is None else backend
     t = _telemetry_active()
     if t is not None:
         t.count(

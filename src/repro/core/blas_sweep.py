@@ -53,6 +53,11 @@ def parallel_mode_sweep(
     thread-local ambient mode), so fanning them out over a thread pool
     is safe; NumPy's BLAS releases the GIL inside the matmuls.  Results
     come back in mode order, exactly like the serial loop.
+
+    Backend selection *is* thread-scoped (``use_backend``), so the
+    caller's ambient backend is captured at submission and re-entered
+    in each worker — a sweep inside ``use_backend("torch")`` runs every
+    mode on torch, same as the serial loop.
     """
     modes = list(SWEEP_MODES if modes is None else modes)
     if not modes:
@@ -72,8 +77,17 @@ def parallel_mode_sweep(
     workers = max_workers or min(len(modes), os.cpu_count() or 1)
     if workers <= 1 or len(modes) == 1:
         return [run_one(m) for m in modes]
+
+    from repro.blas.backend import active_backend, use_backend
+
+    ambient = active_backend()
+
+    def run_pooled(mode: ComputeMode) -> _T:
+        with use_backend(ambient):
+            return run_one(mode)
+
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(run_one, m) for m in modes]
+        futures = [pool.submit(run_pooled, m) for m in modes]
         return [f.result() for f in futures]
 
 #: Orbital counts of Fig. 3b / Table VII.

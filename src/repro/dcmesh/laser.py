@@ -36,10 +36,15 @@ class LaserPulse:
         if self.duration_fs <= 0:
             raise ValueError(f"pulse duration must be positive, got {self.duration_fs}")
         pol = np.asarray(self.polarization, dtype=np.float64)
-        norm = np.linalg.norm(pol)
-        if pol.shape != (3,) or norm == 0:
+        scale = np.max(np.abs(pol)) if pol.shape == (3,) else 0.0
+        if pol.shape != (3,) or scale == 0:
             raise ValueError(f"polarization must be a non-zero 3-vector, got {self.polarization}")
-        object.__setattr__(self, "polarization", tuple(pol / norm))
+        # Scale by the largest component before squaring, as LAPACK's
+        # nrm2 does: a direct sum of squares underflows for tiny
+        # components (|p| ~ 1e-162) and the normalized vector would not
+        # be unit length.
+        pol = pol / scale
+        object.__setattr__(self, "polarization", tuple(pol / np.linalg.norm(pol)))
 
     @property
     def duration_au(self) -> float:

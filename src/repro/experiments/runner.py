@@ -142,15 +142,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             # Independent artifacts fan out over a thread pool (NumPy
             # releases the GIL in the GEMMs); outputs are printed in the
             # deterministic serial order regardless of completion order.
+            # Backend selection is thread-scoped, so capture the ambient
+            # backend here and re-enter it in each worker — otherwise
+            # --backend would silently not apply to pooled experiments.
             from concurrent.futures import ThreadPoolExecutor
 
+            from repro.blas.backend import active_backend
+            from repro.blas.backend import use_backend as _use_backend
+
+            ambient = active_backend()
+
+            def run_in_worker(name):
+                with _use_backend(ambient):
+                    return run_experiment(name, fast=not args.full, output_dir=args.output)
+
             with ThreadPoolExecutor(max_workers=min(args.jobs, len(names))) as pool:
-                futures = [
-                    pool.submit(
-                        run_experiment, name, fast=not args.full, output_dir=args.output
-                    )
-                    for name in names
-                ]
+                futures = [pool.submit(run_in_worker, name) for name in names]
                 for future in futures:
                     print(future.result()["text"])
                     print()

@@ -17,6 +17,7 @@ end to end, bitwise, without needing torch installed.
 """
 
 import importlib.util
+import threading
 import warnings
 
 import numpy as np
@@ -41,7 +42,7 @@ from repro.blas.gemm import gemm
 from repro.blas.modes import ComputeMode, compute_mode
 from repro.blas.plan import operand_handle, prepare, release
 from repro.blas.verbose import format_verbose_line, mkl_verbose
-from repro.blas.workspace import Workspace, clear_workspace
+from repro.blas.workspace import Workspace, clear_workspace, fused_mode
 
 HAVE_TORCH = importlib.util.find_spec("torch") is not None
 
@@ -77,11 +78,14 @@ class ShadowBackend(NumpyBackend):
 
 @pytest.fixture(autouse=True)
 def _numpy_backend_between_tests():
-    prev = backend_mod._active
-    backend_mod._active = NUMPY_BACKEND
+    prev_default = backend_mod._default
+    prev_override = getattr(backend_mod._tls, "backend", None)
+    backend_mod._default = NUMPY_BACKEND
+    backend_mod._tls.backend = None
     clear_workspace()
     yield
-    backend_mod._active = prev
+    backend_mod._default = prev_default
+    backend_mod._tls.backend = prev_override
     clear_workspace()
 
 
@@ -133,6 +137,10 @@ class TestNumpyBackendOps:
         assert caps.native_is_numpy
         assert caps.device == "cpu"
         assert NUMPY_BACKEND.cache_key == "numpy"
+
+    def test_np_dtype(self):
+        x = np.ones(3, dtype=np.complex64)
+        assert NUMPY_BACKEND.np_dtype(x) == np.dtype(np.complex64)
 
 
 class TestSelection:
@@ -295,6 +303,254 @@ class TestShadowBackendEndToEnd:
         assert "backend:" not in format_verbose_line(log[0])
         # ...and names any other executor.
         assert "backend:shadow" in format_verbose_line(log[1])
+
+
+class TestThreadScoping:
+    """use_backend is per-thread; set_backend is the process default."""
+
+    def test_use_backend_does_not_leak_into_other_threads(self):
+        seen = {}
+        with use_backend(ShadowBackend()):
+            t = threading.Thread(
+                target=lambda: seen.setdefault("worker", active_backend())
+            )
+            t.start()
+            t.join()
+        assert seen["worker"] is NUMPY_BACKEND
+
+    def test_set_backend_is_visible_to_other_threads(self):
+        sh = ShadowBackend()
+        set_backend(sh)
+        seen = {}
+        t = threading.Thread(target=lambda: seen.setdefault("worker", active_backend()))
+        t.start()
+        t.join()
+        assert seen["worker"] is sh
+
+    def test_concurrent_scopes_restore_independently(self):
+        # Two threads hold different scoped backends across a barrier;
+        # each must see its own selection and restore to the default —
+        # the interleaved-restore hazard of a process-global scope.
+        b1, b2 = ShadowBackend("scoped1"), ShadowBackend("scoped2")
+        barrier = threading.Barrier(2)
+        results = {}
+
+        def run(name, be):
+            with use_backend(be):
+                barrier.wait()
+                results[name] = active_backend()
+                barrier.wait()
+            results[name + "_after"] = active_backend()
+
+        threads = [
+            threading.Thread(target=run, args=("t1", b1)),
+            threading.Thread(target=run, args=("t2", b2)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results["t1"] is b1
+        assert results["t2"] is b2
+        assert results["t1_after"] is NUMPY_BACKEND
+        assert results["t2_after"] is NUMPY_BACKEND
+
+    def test_use_backend_overrides_default_in_same_thread(self):
+        sh = ShadowBackend()
+        set_backend(sh)
+        other = ShadowBackend("inner")
+        with use_backend(other):
+            assert active_backend() is other
+        assert active_backend() is sh
+
+
+class _FakeDtype:
+    """Foreign dtype token, like ``torch.float32``: rejected by ``np.dtype``."""
+
+    def __init__(self, np_dt):
+        self.np = np.dtype(np_dt)
+
+    def __repr__(self):
+        return f"fake.{self.np.name}"
+
+
+class _FakeArray:
+    """Minimal torch-tensor stand-in: ndarray inside, foreign dtype out."""
+
+    def __init__(self, arr):
+        self.arr = np.asarray(arr)
+
+    @property
+    def shape(self):
+        return self.arr.shape
+
+    @property
+    def dtype(self):
+        return _FakeDtype(self.arr.dtype)
+
+    def __getitem__(self, idx):
+        return _FakeArray(self.arr[idx])
+
+
+class FakeDeviceBackend(ArrayBackend):
+    """NumPy arithmetic behind torch-like native arrays.
+
+    Native arrays expose a ``dtype`` that ``np.dtype`` cannot interpret
+    and ``empty`` rejects such tokens, reproducing the dtype-translation
+    hazard of a real device backend without needing torch installed.
+    The arithmetic underneath is the literal NumPy ops in the same
+    order, so results must stay bitwise identical to the reference.
+    """
+
+    name = "fake-device"
+    capabilities = BackendCapabilities(
+        ieee_fp32_accumulation=True,
+        bitwise_numpy=True,
+        device="cpu",
+        native_is_numpy=False,
+    )
+
+    def to_native(self, x):
+        return _FakeArray(np.ascontiguousarray(x).copy())
+
+    def to_numpy(self, x):
+        return x.arr
+
+    def empty(self, shape, dtype):
+        if isinstance(dtype, _FakeDtype):
+            # The same rejection torch's empty() makes for torch dtypes
+            # routed through np.dtype-based keying.
+            raise TypeError(f"cannot allocate from native dtype token {dtype!r}")
+        return _FakeArray(np.empty(shape, dtype=np.dtype(dtype)))
+
+    def cast(self, x, dtype):
+        return _FakeArray(x.arr.astype(np.dtype(dtype), copy=False))
+
+    def nbytes(self, x):
+        return x.arr.nbytes
+
+    def result_dtype(self, a, b):
+        return np.result_type(a.arr.dtype, b.arr.dtype)
+
+    def np_dtype(self, x):
+        return x.dtype.np
+
+    def matmul(self, a, b, out=None):
+        if out is None:
+            return _FakeArray(np.matmul(a.arr, b.arr))
+        np.matmul(a.arr, b.arr, out=out.arr)
+        return out
+
+    def take(self, x, indices, out):
+        np.take(x.arr, indices, axis=0, out=out.arr)
+        return out
+
+    def add_(self, out, x):
+        np.add(out.arr, x.arr, out=out.arr)
+        return out
+
+    def copy(self, x):
+        return _FakeArray(x.arr.copy())
+
+    def reduce(self, x, axis=None):
+        return np.sum(x.arr, axis=axis)
+
+
+class TestFusedBatchedForeignDtype:
+    """Regression: the batched fused engine gathers *backend-native*
+    stacks, so the workspace request must translate their dtype through
+    ``np_dtype`` — passing the native ``.dtype`` (e.g. ``torch.float32``)
+    into the pool's ``np.dtype``-based key crashed every split-mode GEMM
+    with >1 component pair on non-NumPy-native backends."""
+
+    MODES = [
+        ComputeMode.FLOAT_TO_BF16X2,
+        ComputeMode.FLOAT_TO_BF16X3,
+        ComputeMode.FLOAT_TO_TF32,
+    ]
+
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.name)
+    def test_batched_split_gemm_bitwise(self, mode):
+        a = rng.standard_normal((9, 7)).astype(np.float32)
+        b = rng.standard_normal((7, 8)).astype(np.float32)
+        with fused_mode("batched"), compute_mode(mode):
+            ref = gemm(a, b)
+            with use_backend(FakeDeviceBackend()):
+                got = gemm(a, b)
+        assert np.array_equal(got, ref)
+
+
+class TestTorchBackendRegressions:
+    """Torch-specific regressions (skipped only when torch is absent)."""
+
+    pytestmark = pytest.mark.skipif(not HAVE_TORCH, reason="torch not installed")
+
+    def test_np_dtype_maps_torch_dtypes(self):
+        be = get_backend("torch-cpu")
+        native = be.to_native(np.ones(3, dtype=np.float32))
+        assert be.np_dtype(native) == np.dtype(np.float32)
+
+    @pytest.mark.parametrize(
+        "mode",
+        [ComputeMode.FLOAT_TO_BF16X2, ComputeMode.FLOAT_TO_BF16X3],
+        ids=lambda m: m.name,
+    )
+    def test_batched_fused_split_gemm(self, mode):
+        # The batched path gathers torch-native stacks into workspace
+        # buffers — this crashed when the pool keyed on torch dtypes.
+        be = get_backend("torch-cpu")
+        a = rng.standard_normal((9, 7)).astype(np.float32)
+        b = rng.standard_normal((7, 8)).astype(np.float32)
+        with fused_mode("batched"), compute_mode(mode):
+            ref = gemm(a, b)
+            with use_backend(be):
+                got = gemm(a, b)
+        np.testing.assert_allclose(got, ref, rtol=1e-6, atol=1e-7 * np.abs(ref).max())
+
+    def test_tf32_global_untouched_by_construction(self):
+        import torch
+
+        from repro.blas.backend_torch import TorchBackend
+
+        mm = torch.backends.cuda.matmul
+        prev = mm.allow_tf32
+        try:
+            for flag in (True, False):
+                mm.allow_tf32 = flag
+                TorchBackend(device="cpu")
+                assert mm.allow_tf32 is flag
+        finally:
+            mm.allow_tf32 = prev
+
+    def test_tf32_pinned_and_restored_per_dispatch(self, monkeypatch):
+        import torch
+
+        from repro.blas.backend_torch import TorchBackend
+
+        be = TorchBackend(device="cpu")
+        mm = torch.backends.cuda.matmul
+        prev = mm.allow_tf32
+        seen = {}
+        real = torch.matmul
+
+        def spy(x, y, out=None):
+            seen["tf32_during"] = mm.allow_tf32
+            return real(x, y) if out is None else real(x, y, out=out)
+
+        monkeypatch.setattr(torch, "matmul", spy)
+        try:
+            # Exercise the CUDA dispatch guard with CPU tensors: the
+            # global is settable without a device, and matmul must pin
+            # it to the instance's setting then restore the foreign one.
+            be._is_cuda = True
+            be.allow_tf32 = False
+            mm.allow_tf32 = True
+            a = be.to_native(np.ones((2, 2), dtype=np.float32))
+            be.matmul(a, a)
+            assert seen["tf32_during"] is False
+            assert mm.allow_tf32 is True
+        finally:
+            mm.allow_tf32 = prev
 
 
 class TestRegistration:
