@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast lint ci bench bench-split bench-telemetry bench-adaptive bench-backends repro report claims examples clean
+.PHONY: install test test-fast lint ci bench bench-split bench-telemetry bench-adaptive bench-backends bench-newmodes repro report claims claim-coverage examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -43,6 +43,9 @@ bench-adaptive:
 bench-backends:
 	$(PYTHON) -m pytest benchmarks/test_backend_compare.py -q -p no:cacheprovider
 
+bench-newmodes:
+	$(PYTHON) -m pytest benchmarks/test_ozaki_emufp64_perf.py -q -p no:cacheprovider
+
 repro:
 	$(PYTHON) -m repro.experiments.runner all --output repro_output/
 
@@ -51,6 +54,11 @@ report:
 
 claims:
 	$(PYTHON) -m repro.experiments.runner claims
+
+# Same gate as the CI claims job: render claim_coverage.md and fail on
+# any failing checker or missing pinning test.
+claim-coverage:
+	$(PYTHON) scripts/make_claim_coverage.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

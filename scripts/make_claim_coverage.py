@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Render (and gate on) the claim-coverage matrix.
+
+Every row of :data:`repro.experiments.claims.CLAIMS` maps a quoted
+paper (or extension) claim to its implementing module, its pinning
+test and a live checker.  This script turns that mapping into a
+markdown artifact — ``claim_coverage.md`` — and *verifies* it:
+
+* every live checker is re-run; a FAIL fails the build;
+* every named pinning test must still exist — the file must be present
+  and, for ``path::Node`` references, the class or function must still
+  be defined in it.  A renamed or deleted test silently breaks the
+  traceability chain, so that fails the build too.
+
+Usage::
+
+    python scripts/make_claim_coverage.py [--output claim_coverage.md]
+        [--report-only]
+
+``--report-only`` prints violations but exits 0 (for local preview);
+CI runs the default gating mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def split_test_refs(field: str) -> List[str]:
+    """A claim's ``test`` field may name several tests, ``" / "``-separated."""
+    return [ref.strip() for ref in field.split(" / ") if ref.strip()]
+
+
+def check_test_ref(ref: str, root: Path = REPO_ROOT) -> Tuple[bool, str]:
+    """Whether a ``path[::Node]`` pinning-test reference still resolves.
+
+    The node check is textual on purpose — importing the test modules
+    would drag in their fixtures; what the gate needs is that the named
+    class/function is still *defined* in the named file.
+    """
+    path_part, _, node = ref.partition("::")
+    path = root / path_part
+    if not path.is_file():
+        return False, f"missing test file: {path_part}"
+    if node:
+        text = path.read_text()
+        if not re.search(rf"^\s*(?:class|def)\s+{re.escape(node)}\b", text, re.M):
+            return False, f"no class/def {node!r} in {path_part}"
+    return True, "ok"
+
+
+def build_matrix() -> Tuple[List[tuple], List[str]]:
+    """(markdown rows, violations).  Runs every live checker."""
+    from repro.experiments.claims import CLAIMS, evaluate_claims
+
+    status = {row[0]: row[1] for row in evaluate_claims()}
+    rows = []
+    violations = []
+    for claim in CLAIMS:
+        checker = status[claim.claim_id]
+        if checker != "PASS":
+            violations.append(f"{claim.claim_id}: live checker FAILED")
+        test_cells = []
+        for ref in split_test_refs(claim.test):
+            ok, why = check_test_ref(ref)
+            test_cells.append(f"`{ref}`" if ok else f"`{ref}` **(missing)**")
+            if not ok:
+                violations.append(f"{claim.claim_id}: {why}")
+        rows.append(
+            (
+                claim.claim_id,
+                claim.source,
+                claim.module,
+                "<br>".join(test_cells),
+                checker,
+            )
+        )
+    return rows, violations
+
+
+def render_markdown(rows: List[tuple]) -> str:
+    lines = [
+        "# Claim coverage",
+        "",
+        "Every checkable claim, its implementing module, the test that",
+        "pins it, and the live checker's verdict at generation time.",
+        "Regenerate with `python scripts/make_claim_coverage.py`.",
+        "",
+        "| Claim | Source | Module | Pinning test | Checker |",
+        "|---|---|---|---|---|",
+    ]
+    for claim_id, source, module, tests, checker in rows:
+        mark = "PASS" if checker == "PASS" else "**FAIL**"
+        lines.append(f"| `{claim_id}` | {source} | `{module}` | {tests} | {mark} |")
+    n_pass = sum(1 for r in rows if r[4] == "PASS")
+    lines += ["", f"{n_pass}/{len(rows)} checkers passing.", ""]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "claim_coverage.md"),
+        help="where to write the markdown matrix",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="print violations but exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    rows, violations = build_matrix()
+    Path(args.output).write_text(render_markdown(rows))
+    print(f"wrote {args.output} ({len(rows)} claims)")
+    for violation in violations:
+        print(f"VIOLATION: {violation}", file=sys.stderr)
+    if violations and not args.report_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

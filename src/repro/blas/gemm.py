@@ -11,6 +11,11 @@ Mode semantics (matching oneMKL):
   (``sgemm``/``cgemm``); double-precision calls always run standard,
   exactly as in MKL (which is why the paper's QXMD FP64 phase is
   untouched by the environment variable).
+* ``OZAKI_INT8`` is likewise single-only: scaled INT8 slice products
+  with exact integer accumulation, rescaled and summed in FP32.
+* ``EMULATED_FP64`` applies at *either* width: FP64 operands split
+  into three FP32 terms (exact), FP32 operands into one, with all
+  pair products accumulated at FP64.
 * ``COMPLEX_3M`` affects complex routines at either precision.
 * Everything else runs standard FP32/FP64 ``np.matmul``.
 
@@ -37,6 +42,7 @@ from repro.blas.verbose import VerboseRecord, emit_call, observing
 from repro.blas.workspace import split_gemm_fused
 from repro.telemetry.provenance import register_call_site, site_scope
 from repro.telemetry.registry import active as _telemetry_active
+from repro.types import Precision
 
 __all__ = [
     "gemm",
@@ -174,14 +180,19 @@ def _anon_worth_it(mode: ComputeMode, dtype: np.dtype) -> bool:
     """Whether an anonymous plan-cache lookup can pay for itself.
 
     The lookup costs one content-hash pass over the operand.  Only the
-    split-precision paths re-derive enough per call (rounding passes
-    over every split term) to amortise that; for STANDARD/3M the
+    split-precision paths re-derive enough per call (rounding/slicing
+    passes over every split term) to amortise that; for STANDARD/3M the
     derived forms are a few cheap packing passes, so hashing every
     fresh operand would be a net loss on the hot path.
     """
-    return mode.is_low_precision and dtype in (
-        np.dtype(np.float32),
-        np.dtype(np.complex64),
+    single = dtype in (np.dtype(np.float32), np.dtype(np.complex64))
+    if (mode.is_low_precision or mode.uses_int8) and single:
+        return True
+    # Emulated FP64 splits double operands into three terms; the
+    # single-precision variant is one cast, not worth the hash.
+    return mode.uses_fp64_emulation and dtype in (
+        np.dtype(np.float64),
+        np.dtype(np.complex128),
     )
 
 
@@ -219,6 +230,29 @@ def _compute(
         return split_gemm_fused(
             a_h, b_h, mode.component_precision, mode.n_terms, backend=be
         )
+
+    if mode.uses_int8 and is_single:
+        # Ozaki scheme: scaled INT8 slices, exact integer accumulation,
+        # FP32 rescale-and-sum.  Single-precision only, like FLOAT_TO_*;
+        # composes with 4M for complex via the same fused engine
+        # (Precision.INT8 is the split-family marker).
+        if is_complex:
+            return gemm_4m_split_planned(
+                a_h, b_h, Precision.INT8, mode.n_terms, backend=be
+            )
+        return split_gemm_fused(a_h, b_h, Precision.INT8, mode.n_terms, backend=be)
+
+    if mode.uses_fp64_emulation:
+        # Emulated FP64: FP32-term splitting with FP64 (compensated)
+        # accumulation.  Applies at either storage width — three terms
+        # reconstruct an FP64 operand exactly; single-precision inputs
+        # need one term and gain FP64 accumulation over STANDARD.
+        n_terms = 3 if not is_single else 1
+        if is_complex:
+            return gemm_4m_split_planned(
+                a_h, b_h, Precision.FP64, n_terms, backend=be
+            )
+        return split_gemm_fused(a_h, b_h, Precision.FP64, n_terms, backend=be)
 
     if mode.uses_3m and is_complex:
         return gemm_3m_planned(a_h, b_h, backend=be)

@@ -29,16 +29,64 @@ from repro.types import Precision
 __all__ = [
     "ComputeMode",
     "MKL_COMPUTE_MODE_ENV",
+    "OZAKI_SLICES_ENV",
     "UnknownComputeModeError",
     "resolve_mode",
     "get_compute_mode",
     "set_compute_mode",
     "compute_mode",
     "mode_from_env",
+    "get_ozaki_slices",
+    "set_ozaki_slices",
 ]
 
 #: The environment variable the paper sets before each run.
 MKL_COMPUTE_MODE_ENV = "MKL_BLAS_COMPUTE_MODE"
+
+#: Slice count of the ``OZAKI_INT8`` split (default 3); consulted on
+#: every call like the mode variable itself, so a sweep can vary it
+#: without source changes.
+OZAKI_SLICES_ENV = "REPRO_OZAKI_SLICES"
+
+#: Largest accepted slice count.  Eight 7-bit slices already carry 56
+#: significant bits — beyond FP32 storage can even express — and the
+#: exactness argument (integer dot products below 2**53) wants the
+#: per-slice scale gaps bounded.
+_MAX_OZAKI_SLICES = 8
+
+_ozaki_slices_override: Optional[int] = None
+
+
+def _validate_slices(n: int) -> int:
+    n = int(n)
+    if not 1 <= n <= _MAX_OZAKI_SLICES:
+        raise ValueError(
+            f"ozaki slice count must be in [1, {_MAX_OZAKI_SLICES}], got {n}"
+        )
+    return n
+
+
+def get_ozaki_slices(environ=None) -> int:
+    """Effective ``OZAKI_INT8`` slice count (API > env > default 3)."""
+    if _ozaki_slices_override is not None:
+        return _ozaki_slices_override
+    env = os.environ if environ is None else environ
+    raw = env.get(OZAKI_SLICES_ENV)
+    if raw is None or not str(raw).strip():
+        return 3
+    try:
+        return _validate_slices(raw)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{OZAKI_SLICES_ENV} must be an integer in "
+            f"[1, {_MAX_OZAKI_SLICES}], got {raw!r}"
+        ) from None
+
+
+def set_ozaki_slices(n: Optional[int]) -> None:
+    """Set (or clear, with ``None``) the process-wide slice count."""
+    global _ozaki_slices_override
+    _ozaki_slices_override = None if n is None else _validate_slices(n)
 
 
 class UnknownComputeModeError(ValueError):
@@ -58,6 +106,12 @@ class ComputeMode(enum.Enum):
     FLOAT_TO_BF16X3 = "FLOAT_TO_BF16X3"
     FLOAT_TO_TF32 = "FLOAT_TO_TF32"
     COMPLEX_3M = "COMPLEX_3M"
+    # Post-paper rungs of the same split-accumulate ladder: per-slice
+    # scaled INT8 split GEMM with exact integer accumulation (Ozaki
+    # scheme), and multi-term FP32 splitting of FP64 operands with
+    # compensated accumulation (emulated FP64).
+    OZAKI_INT8 = "OZAKI_INT8"
+    EMULATED_FP64 = "EMULATED_FP64"
 
     # ------------------------------------------------------------------
     # Structural properties used by the numerics and the device model.
@@ -79,8 +133,18 @@ class ComputeMode(enum.Enum):
         )
 
     @property
+    def uses_int8(self) -> bool:
+        """Whether the multiply stage runs on INT8 engines (Ozaki split)."""
+        return self is ComputeMode.OZAKI_INT8
+
+    @property
+    def uses_fp64_emulation(self) -> bool:
+        """Whether FP64-grade results are built from FP32-term products."""
+        return self is ComputeMode.EMULATED_FP64
+
+    @property
     def component_precision(self) -> Optional[Precision]:
-        """Reduced format the inputs are split into, or ``None``."""
+        """Format of the multiply-stage components, or ``None``."""
         if self in (
             ComputeMode.FLOAT_TO_BF16,
             ComputeMode.FLOAT_TO_BF16X2,
@@ -89,16 +153,29 @@ class ComputeMode(enum.Enum):
             return Precision.BF16
         if self is ComputeMode.FLOAT_TO_TF32:
             return Precision.TF32
+        if self is ComputeMode.OZAKI_INT8:
+            return Precision.INT8
+        if self is ComputeMode.EMULATED_FP64:
+            return Precision.FP32
         return None
 
     @property
     def n_terms(self) -> int:
-        """Number of reduced-precision terms each input is split into."""
+        """Number of reduced-precision terms each input is split into.
+
+        ``OZAKI_INT8`` is configurable (:func:`get_ozaki_slices`);
+        ``EMULATED_FP64`` reports its FP64-operand term count (3 FP32
+        terms carry all 53 significand bits) — single-precision routines
+        need only one FP64-accumulated term, resolved at dispatch.
+        """
+        if self is ComputeMode.OZAKI_INT8:
+            return get_ozaki_slices()
         return {
             ComputeMode.FLOAT_TO_BF16: 1,
             ComputeMode.FLOAT_TO_BF16X2: 2,
             ComputeMode.FLOAT_TO_BF16X3: 3,
             ComputeMode.FLOAT_TO_TF32: 1,
+            ComputeMode.EMULATED_FP64: 3,
         }.get(self, 1)
 
     @property
@@ -138,7 +215,13 @@ class ComputeMode(enum.Enum):
             "BF16X3": "FLOAT_TO_BF16X3",
             "TF32": "FLOAT_TO_TF32",
             "3M": "COMPLEX_3M",
+            "OZAKI": "OZAKI_INT8",
+            "INT8": "OZAKI_INT8",
+            "EMU_FP64": "EMULATED_FP64",
+            "EFP64": "EMULATED_FP64",
         }
+        # Normalise separators so OZAKI-INT8 / "emulated fp64" parse too.
+        key = key.replace("-", "_").replace(" ", "_")
         key = aliases.get(key, key)
         try:
             return cls[key]

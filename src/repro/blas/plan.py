@@ -51,7 +51,12 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.blas.rounding import extend_split, split_terms_residual
+from repro.blas.rounding import (
+    emulated_fp64_split_terms,
+    extend_split,
+    ozaki_slice_terms,
+    split_terms_residual,
+)
 from repro.telemetry.provenance import current_site_id as _current_site_id
 from repro.telemetry.registry import active as _telemetry_active
 
@@ -309,6 +314,67 @@ class PreparedOperand:
             )
         return got
 
+    def ozaki_stack(
+        self,
+        trans: str,
+        n_slices: int,
+        *,
+        part: Optional[str] = None,
+        operand: str = "a",
+        dtype: Optional[np.dtype] = None,
+    ) -> np.ndarray:
+        """Stacked Ozaki INT8 slice terms, ``(n_slices, *op_shape)``.
+
+        ``operand`` selects the contraction axis of the fibre scaling:
+        ``'a'`` scales per row (axis -1), ``'b'`` per column (axis -2)
+        — the orientation that keeps every output dot product on one
+        fixed power-of-two scale per slice pair.  Derivation replicates
+        :func:`repro.blas.rounding.ozaki_slice_terms` on the exact base
+        array the cold path would build, so cached and fresh stacks are
+        bitwise identical.
+        """
+        if operand not in ("a", "b"):
+            raise ValueError(f"operand must be 'a' or 'b', got {operand!r}")
+        axis = -1 if operand == "a" else -2
+
+        def build():
+            if part is None:
+                base = self.oriented(trans, np.float32)
+            else:
+                base = self.part(trans, np.dtype(dtype or np.complex64), part)
+            return np.stack(ozaki_slice_terms(base, n_slices, axis=axis))
+
+        return self._derive(("ozaki", trans, n_slices, part, operand), build)
+
+    def efp64_stack(
+        self,
+        trans: str,
+        n_terms: int,
+        *,
+        part: Optional[str] = None,
+        dtype: Optional[np.dtype] = None,
+    ) -> np.ndarray:
+        """Stacked emulated-FP64 split terms, ``(n_terms, *op_shape)``.
+
+        FP64 operands split into FP32-representable float64 terms
+        (:func:`repro.blas.rounding.emulated_fp64_split_terms`); single
+        precision degenerates to one exact float64 cast.  ``dtype`` is
+        the *working* dtype of the call (real or complex; complex when
+        ``part`` selects a component) — it decides whether the base
+        array is the FP64 or FP32 packing.
+        """
+        wdt = np.dtype(dtype or np.float64)
+        double = wdt in (np.dtype(np.float64), np.dtype(np.complex128))
+
+        def build():
+            if part is None:
+                base = self.oriented(trans, np.float64 if double else np.float32)
+            else:
+                base = self.part(trans, wdt, part)
+            return np.stack(emulated_fp64_split_terms(base, n_terms))
+
+        return self._derive(("efp64", trans, n_terms, part, double), build)
+
     def native_mirror(self, backend, key: tuple, array: np.ndarray):
         """Backend-native copy of a derived NumPy form, cached per backend.
 
@@ -410,6 +476,33 @@ class OrientedOperand:
         arr = self.split_stack(keep_bits, n_terms, part=part)
         return self.plan.native_mirror(
             backend, ("split", self.trans, keep_bits, n_terms, part), arr
+        )
+
+    def ozaki_stack(
+        self, n_slices: int, part: Optional[str] = None, operand: str = "a"
+    ) -> np.ndarray:
+        return self.plan.ozaki_stack(
+            self.trans, n_slices, part=part, operand=operand, dtype=self.dtype
+        )
+
+    def ozaki_stack_native(
+        self, backend, n_slices: int, part: Optional[str] = None, operand: str = "a"
+    ):
+        arr = self.ozaki_stack(n_slices, part=part, operand=operand)
+        return self.plan.native_mirror(
+            backend, ("ozaki", self.trans, n_slices, part, operand), arr
+        )
+
+    def efp64_stack(self, n_terms: int, part: Optional[str] = None) -> np.ndarray:
+        return self.plan.efp64_stack(
+            self.trans, n_terms, part=part, dtype=self.dtype
+        )
+
+    def efp64_stack_native(self, backend, n_terms: int, part: Optional[str] = None):
+        arr = self.efp64_stack(n_terms, part=part)
+        double = self.dtype in (np.dtype(np.float64), np.dtype(np.complex128))
+        return self.plan.native_mirror(
+            backend, ("efp64", self.trans, n_terms, part, double), arr
         )
 
 

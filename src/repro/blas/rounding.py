@@ -35,8 +35,16 @@ __all__ = [
     "extend_split",
     "split_bf16",
     "split_tf32",
+    "ozaki_slice_terms",
+    "emulated_fp64_split_terms",
     "max_relative_error",
+    "ozaki_max_relative_error",
 ]
+
+#: Bits per Ozaki INT8 slice: 7 magnitude bits (slices are truncated
+#: towards zero, so every slice value fits the signed-int8 range
+#: [-127, 127] with the sign carried separately by the float).
+OZAKI_SLICE_BITS = 7
 
 _FP32_MANTISSA = 23
 _EXP_MASK = np.uint32(0x7F800000)
@@ -190,6 +198,77 @@ def split_tf32(x: np.ndarray, n_terms: int = 1) -> Tuple[np.ndarray, ...]:
     return split_terms(x, MANTISSA_BITS[Precision.TF32], n_terms)
 
 
+def ozaki_slice_terms(x: np.ndarray, n_slices: int, axis: int) -> Tuple[np.ndarray, ...]:
+    """Ozaki-scheme decomposition into scaled-INT8 slice terms.
+
+    Every element of ``x`` is written as a sum of ``n_slices`` terms
+    ``q_i * 2**(e - 7*(i+1))`` where ``q_i`` is an integer in
+    ``[-127, 127]`` (an INT8 value) and ``e`` is a shared power-of-two
+    exponent per 1-D fibre along ``axis`` — the *contraction* axis of
+    the GEMM the terms feed (``axis=-1`` for the left operand's rows,
+    ``axis=-2`` for the right operand's columns), so that every dot
+    product in the output sees one fixed scale per (slice, slice) pair
+    and the INT8xINT8 -> INT32 accumulation is exact.
+
+    The terms are returned as *float64* arrays holding those exactly
+    representable scaled integers: a float64 matmul of two such terms
+    is then a bit-exact emulation of the integer tensor-core product
+    (each scalar product is ``q * q' * 2**(...)`` with ``|q*q'| <=
+    127**2 < 2**14``, and the k-fold sum stays far below ``2**53``).
+
+    Exactness of the decomposition arithmetic itself: the fibre scale
+    comes from ``np.frexp`` (exact; ``absmax < 2**e``), the running
+    remainder is multiplied by powers of two (exact), and truncation /
+    fractional-part extraction of a float64 below 128 is exact.  After
+    ``s`` slices the unrepresented remainder of an element is below
+    ``2**(e - 7s)``, i.e. below ``2**(1-7s)`` of its fibre's absmax.
+    """
+    if n_slices < 1:
+        raise ValueError(f"n_slices must be >= 1, got {n_slices}")
+    x64 = np.ascontiguousarray(x, dtype=np.float64)
+    if x64.ndim < 2:
+        raise ValueError(f"ozaki_slice_terms needs >= 2-D input, got {x64.ndim}-D")
+    absmax = np.max(np.abs(x64), axis=axis, keepdims=True)
+    # frexp: absmax = f * 2**e with f in [0.5, 1) -> absmax < 2**e and
+    # the scale is an exact power of two (zero fibres get e = 0).
+    _, e = np.frexp(absmax)
+    r = np.ldexp(x64, -e)               # |r| < 1, exact
+    radix = float(1 << OZAKI_SLICE_BITS)
+    terms = []
+    for i in range(n_slices):
+        shifted = r * radix             # |shifted| < 128, exact
+        q = np.trunc(shifted)           # integer slice, |q| <= 127
+        r = shifted - q                 # exact fractional remainder
+        terms.append(np.ldexp(q, e - OZAKI_SLICE_BITS * (i + 1)))
+    return tuple(terms)
+
+
+def emulated_fp64_split_terms(x: np.ndarray, n_terms: int) -> Tuple[np.ndarray, ...]:
+    """Decompose FP64 data into ``n_terms`` FP32-representable terms.
+
+    Greedy residual extraction at FP32 granularity: ``t1 = fp32(x)``,
+    ``t2 = fp32(x - t1)``, ... with the residuals computed exactly in
+    FP64 (each term is exactly representable in FP64, and the
+    subtraction cancels the shared leading bits).  Three 24-bit
+    significands carry 72 > 53 bits, so for inputs within FP32's
+    exponent range the three-term split is *exact* — the basis of the
+    emulated-FP64 compute mode, where FP32-term pair products (each
+    exact: 24+24 <= 53 bits) are accumulated in FP64.
+
+    The terms are returned as float64 arrays holding FP32-representable
+    values, ready for exact pair products under float64 matmul.
+    """
+    if n_terms < 1:
+        raise ValueError(f"n_terms must be >= 1, got {n_terms}")
+    residual = np.ascontiguousarray(x, dtype=np.float64)
+    terms = []
+    for _ in range(n_terms):
+        t = residual.astype(np.float32).astype(np.float64)
+        terms.append(t)
+        residual = residual - t
+    return tuple(terms)
+
+
 def max_relative_error(keep_bits: int) -> float:
     """Worst-case relative input error of rounding to ``keep_bits``.
 
@@ -198,3 +277,17 @@ def max_relative_error(keep_bits: int) -> float:
     of each (normal) input.
     """
     return 2.0 ** -(keep_bits + 1)
+
+
+def ozaki_max_relative_error(n_slices: int) -> float:
+    """Analytic relative-error level of an ``n_slices`` Ozaki GEMM.
+
+    Each input element is represented to within ``2**(1 - 7s)`` of its
+    fibre's absmax (see :func:`ozaki_slice_terms`), so a dot product
+    carries a perturbation of roughly twice that relative to the
+    ``k * rowmax * colmax`` scale: ``2**-(7s - 1)`` — ``2**-20`` at the
+    default three slices, between BF16x2 and FP32 on the error ladder.
+    """
+    if n_slices < 1:
+        raise ValueError(f"n_slices must be >= 1, got {n_slices}")
+    return 2.0 ** -(OZAKI_SLICE_BITS * n_slices - 1)

@@ -267,6 +267,13 @@ def split_gemm_fused(
     in NumPy (bit-exact everywhere); ``backend`` only executes the
     component products, consuming per-backend native mirrors of the
     stacks (cached on the plan, so device staging is once per block).
+
+    ``precision`` selects the splitting family: ``BF16``/``TF32`` use
+    the mantissa-truncation split; the marker values ``Precision.INT8``
+    (Ozaki scaled-slice split, FP32 result) and ``Precision.FP64``
+    (emulated-FP64 FP32-term split, result in the handles' real working
+    width) route to their own plan-cached stacks.  All families share
+    the same fused pair-product engine and accumulation order.
     """
     from repro.blas.split import component_pairs
 
@@ -280,11 +287,28 @@ def split_gemm_fused(
             site=_current_site_id() or "-",
             backend=be.cache_key,
         )
-    keep = MANTISSA_BITS[precision]
-    a_terms = a_handle.split_stack_native(be, keep, n_terms, part=part_a)
-    b_terms = b_handle.split_stack_native(be, keep, n_terms, part=part_b)
+    if precision is Precision.INT8:
+        a_terms = a_handle.ozaki_stack_native(be, n_terms, part=part_a, operand="a")
+        b_terms = b_handle.ozaki_stack_native(be, n_terms, part=part_b, operand="b")
+        out_dtype = np.float32
+    elif precision is Precision.FP64:
+        a_terms = a_handle.efp64_stack_native(be, n_terms, part=part_a)
+        b_terms = b_handle.efp64_stack_native(be, n_terms, part=part_b)
+        double = np.dtype(a_handle.dtype) in (
+            np.dtype(np.float64),
+            np.dtype(np.complex128),
+        )
+        out_dtype = np.float64 if double else np.float32
+    else:
+        keep = MANTISSA_BITS[precision]
+        a_terms = a_handle.split_stack_native(be, keep, n_terms, part=part_a)
+        b_terms = b_handle.split_stack_native(be, keep, n_terms, part=part_b)
+        out_dtype = None
     if a_terms.shape[-1] != b_terms.shape[-2]:
         raise ValueError(
             f"inner dimensions differ: {tuple(a_terms.shape[1:])} @ {tuple(b_terms.shape[1:])}"
         )
-    return fused_pair_products(a_terms, b_terms, component_pairs(n_terms), backend=be)
+    out = fused_pair_products(a_terms, b_terms, component_pairs(n_terms), backend=be)
+    if out_dtype is not None:
+        out = out.astype(out_dtype, copy=False)
+    return out

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.blas.gemm import gemm
 from repro.blas.modes import ComputeMode
+from repro.blas.rounding import ozaki_max_relative_error
 from repro.types import MANTISSA_BITS, Precision
 
 __all__ = [
@@ -50,7 +51,17 @@ def mode_effective_error(mode: ComputeMode) -> float:
     BF16x3 thus lands at ~2^-24, "comparable to standard
     single-precision arithmetic" (Section III-B), and ``COMPLEX_3M`` /
     ``STANDARD`` sit at the FP32 epsilon (modulo cancellation).
+
+    The post-paper modes extend the ladder at both ends:
+    ``OZAKI_INT8`` carries ``2^-(7s - 1)`` at ``s`` slices (``2^-20``
+    at the default three — between BF16x2 and FP32), and
+    ``EMULATED_FP64`` sits at the FP64 unit roundoff ``2^-52``
+    (FP32-term products, FP64 accumulation).
     """
+    if mode.uses_fp64_emulation:
+        return 2.0**-52  # FP64 unit roundoff
+    if mode.uses_int8:
+        return ozaki_max_relative_error(mode.n_terms)
     if mode.is_low_precision:
         bits = MANTISSA_BITS[mode.component_precision]
         effective_bits = min(mode.n_terms * (bits + 1), 24)

@@ -13,12 +13,14 @@ Controller design
 
 * **Ladder** — the candidate modes, ordered by *decreasing analytic
   error* (:func:`repro.core.error_model.mode_effective_error`), by
-  default ``BF16 -> TF32 -> BF16X2 -> FP32``.  Note TF32 sits *below*
-  BF16X2: a single 10-bit-mantissa product (``~2^-11`` effective) is
-  less accurate than the two-term BF16 compensated split (``~2^-16``),
-  even though the paper's hardware runs it faster.  Escalation must be
-  monotone in accuracy or a breach could escalate into a *worse* mode
-  and loop.
+  default ``BF16 -> TF32 -> BF16X2 -> OZAKI_INT8 -> FP32 ->
+  EMULATED_FP64``.  Note TF32 sits *below* BF16X2: a single
+  10-bit-mantissa product (``~2^-11`` effective) is less accurate than
+  the two-term BF16 compensated split (``~2^-16``), even though the
+  paper's hardware runs it faster.  The Ozaki INT8 split (``~2^-20``
+  at three slices) lands between BF16X2 and FP32, and emulated FP64
+  (``~2^-52``) tops the ladder.  Escalation must be monotone in
+  accuracy or a breach could escalate into a *worse* mode and loop.
 * **Escalation** — at each QD step the scheduler reads the monitor's
   current budget utilization (max over nexc/javg/ekin).  Crossing
   ``escalate_at`` (default 0.7, i.e. before the monitor's own 0.8
@@ -85,11 +87,16 @@ SCHED_SITES = ("nlp_prop", "calc_energy", "remap_occ")
 
 #: Candidate modes, kept in increasing-accuracy order by
 #: :func:`_sort_ladder` (see module docstring for why TF32 < BF16X2).
+#: ``OZAKI_INT8`` (``~2^-20`` at three slices) slots between BF16X2 and
+#: FP32; ``EMULATED_FP64`` (``~2^-52``) is the top rung — the escape
+#: hatch when even FP32 accumulation cannot hold the budget.
 DEFAULT_LADDER = (
     ComputeMode.FLOAT_TO_BF16,
     ComputeMode.FLOAT_TO_BF16X2,
     ComputeMode.FLOAT_TO_TF32,
+    ComputeMode.OZAKI_INT8,
     ComputeMode.STANDARD,
+    ComputeMode.EMULATED_FP64,
 )
 
 

@@ -24,16 +24,23 @@ from repro.blas.modes import ComputeMode
 from repro.core.deviation import OBSERVABLES, DeviationSeries, deviation_from_reference
 from repro.dcmesh.simulation import Simulation, SimulationConfig, SimulationResult
 
-__all__ = ["STUDY_MODES", "PrecisionStudy", "StudyResult"]
+__all__ = ["STUDY_MODES", "PAPER_STUDY_MODES", "PrecisionStudy", "StudyResult"]
 
-#: The five alternative modes of Fig. 1, in the paper's order.
+#: The five alternative modes of Fig. 1, in the paper's order, plus
+#: the post-paper rungs (Ozaki INT8 between BF16X2 and FP32 on the
+#: analytic error ladder; emulated FP64 above everything).
 STUDY_MODES = (
     ComputeMode.FLOAT_TO_BF16,
     ComputeMode.FLOAT_TO_BF16X2,
     ComputeMode.FLOAT_TO_BF16X3,
     ComputeMode.FLOAT_TO_TF32,
     ComputeMode.COMPLEX_3M,
+    ComputeMode.OZAKI_INT8,
+    ComputeMode.EMULATED_FP64,
 )
+
+#: The paper's original five (Fig. 1/2 pinning tests use these).
+PAPER_STUDY_MODES = STUDY_MODES[:5]
 
 
 @dataclasses.dataclass

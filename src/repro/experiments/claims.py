@@ -197,6 +197,59 @@ def _check_fp64_unaffected() -> bool:
     )
 
 
+def _check_ozaki_slice_bound() -> bool:
+    import numpy as np
+
+    from repro.blas.gemm import gemm
+    from repro.blas.modes import ComputeMode
+    from repro.blas.rounding import OZAKI_SLICE_BITS
+
+    rng = np.random.default_rng(11)
+    scale = 10.0 ** rng.integers(-3, 4, size=(40, 56)).astype(np.float64)
+    a = (rng.standard_normal((40, 56)) * scale).astype(np.float32)
+    b = rng.standard_normal((56, 32)).astype(np.float32)
+    ref = a.astype(np.float64) @ b.astype(np.float64)
+    out = gemm(a, b, mode=ComputeMode.OZAKI_INT8).astype(np.float64)
+    n_slices = ComputeMode.OZAKI_INT8.n_terms
+    rowmax = np.max(np.abs(a.astype(np.float64)), axis=-1, keepdims=True)
+    colmax = np.max(np.abs(b.astype(np.float64)), axis=-2, keepdims=True)
+    bound = 56 * rowmax * colmax * 2.0 ** (3 - OZAKI_SLICE_BITS * n_slices)
+    return bool((np.abs(out - ref) <= bound + np.abs(ref) * 2.0**-24).all())
+
+
+def _check_emulated_fp64_class() -> bool:
+    import numpy as np
+
+    from repro.blas.gemm import gemm
+    from repro.blas.modes import ComputeMode
+
+    rng = np.random.default_rng(12)
+    a = rng.standard_normal((48, 64)) * 10.0 ** rng.integers(-5, 6, size=(48, 64))
+    b = rng.standard_normal((64, 40))
+    ref = a @ b
+    out = gemm(a, b, mode=ComputeMode.EMULATED_FP64)
+    envelope = np.abs(a) @ np.abs(b)
+    return bool((np.abs(out - ref) <= envelope * (32 * 64 * 2.0**-53)).all())
+
+
+def _check_newmode_error_ordering() -> bool:
+    from repro.blas.modes import ComputeMode
+    from repro.core.error_model import mode_effective_error
+    from repro.core.scheduler import AdaptiveScheduler
+
+    err = mode_effective_error
+    ladder_ok = (
+        err(ComputeMode.FLOAT_TO_BF16X2)
+        > err(ComputeMode.OZAKI_INT8)
+        > err(ComputeMode.STANDARD)
+        > err(ComputeMode.EMULATED_FP64)
+    )
+    sched = AdaptiveScheduler()
+    errors = [err(m) for m in sched.ladder]
+    return ladder_ok and errors == sorted(errors, reverse=True) and \
+        sched.ladder[-1] is ComputeMode.EMULATED_FP64
+
+
 #: The matrix.  Order follows the paper.
 CLAIMS: List[Claim] = [
     Claim(
@@ -331,6 +384,43 @@ CLAIMS: List[Claim] = [
         "repro.blas.gemm / repro.dcmesh.scf",
         "tests/integration/test_fp64_storage.py",
         _check_fp64_unaffected,
+    ),
+    # ------------------------------------------------------------------
+    # Post-paper extension claims (ROADMAP: Ozaki INT8 / emulated FP64).
+    # These keep the same discipline as the paper rows: a quoted
+    # statement of intent, the implementing module, a pinning test and
+    # a live checker.
+    # ------------------------------------------------------------------
+    Claim(
+        "ozaki-slice-bound",
+        "OZAKI_INT8 results stay within the analytic per-slice "
+        "truncation bound k*rowmax*colmax*2^(3-7s) of the FP64 reference",
+        "extension / DESIGN.md",
+        "repro.blas.rounding / repro.blas.split",
+        "tests/property/test_prop_newmodes.py::TestOzakiAccuracy / "
+        "tests/unit/test_blas_rounding.py::TestOzakiSliceTerms",
+        _check_ozaki_slice_bound,
+    ),
+    Claim(
+        "emulated-fp64-class",
+        "EMULATED_FP64 delivers FP64-comparable GEMMs (and trajectories "
+        "within 1e-12) from FP32-term products with compensated accumulation",
+        "extension / DESIGN.md",
+        "repro.blas.split / repro.blas.workspace",
+        "tests/property/test_prop_newmodes.py::TestEmulatedFP64Accuracy / "
+        "tests/integration/test_newmodes_trajectory.py::TestEmulatedFP64Trajectory",
+        _check_emulated_fp64_class,
+    ),
+    Claim(
+        "newmode-error-ordering",
+        "The analytic error ladder orders the new rungs BF16X2 > "
+        "OZAKI_INT8 > FP32 > EMULATED_FP64, and the adaptive scheduler's "
+        "ladder tops out at EMULATED_FP64",
+        "extension / DESIGN.md",
+        "repro.core.error_model / repro.core.scheduler",
+        "tests/unit/test_core_scheduler.py::TestLadder / "
+        "tests/unit/test_core_error_model.py",
+        _check_newmode_error_ordering,
     ),
 ]
 

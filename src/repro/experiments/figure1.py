@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.core.report import render_table, write_csv
-from repro.core.study import PrecisionStudy
+from repro.core.study import PAPER_STUDY_MODES, PrecisionStudy
 from repro.dcmesh.scf import SCFParams
 from repro.dcmesh.simulation import SimulationConfig
 
@@ -44,8 +44,12 @@ def study_config(fast: bool = True) -> SimulationConfig:
 
 
 def run(fast: bool = True, output_dir: Optional[str] = None) -> dict:
-    """Run all five modes + FP32 reference; tabulate deviations."""
-    study = PrecisionStudy(study_config(fast))
+    """Run all five modes + FP32 reference; tabulate deviations.
+
+    Pinned to the paper's five modes — the post-paper split rungs show
+    up in the Pareto experiment and the full study instead.
+    """
+    study = PrecisionStudy(study_config(fast), modes=PAPER_STUDY_MODES)
     result = study.run()
     rows = []
     for obs, series_list in result.deviations.items():

@@ -14,7 +14,7 @@ from typing import Optional
 
 
 from repro.core.report import render_table, write_csv
-from repro.core.study import PrecisionStudy
+from repro.core.study import PAPER_STUDY_MODES, PrecisionStudy
 from repro.experiments.figure1 import study_config
 
 HEADERS = ("Mode", "Mean log10|dev(javg)|", "Final log10|dev|", "Trend (late-early)")
@@ -22,7 +22,9 @@ HEADERS = ("Mode", "Mean log10|dev(javg)|", "Final log10|dev|", "Trend (late-ear
 
 def run(fast: bool = True, output_dir: Optional[str] = None) -> dict:
     """Run the study; report log-scale javg deviations per mode."""
-    study = PrecisionStudy(study_config(fast), observables=("javg",))
+    study = PrecisionStudy(
+        study_config(fast), modes=PAPER_STUDY_MODES, observables=("javg",)
+    )
     result = study.run()
     rows = []
     series_out = {}

@@ -11,6 +11,12 @@ software emulation (and oneMKL) uses:
   reduced-precision component copies of A and B) followed by
   ``n(n+1)/2`` component products on the matrix engines with FP32
   accumulation; complex composes this with 4M.
+* ``OZAKI_INT8``              -> the same split structure with INT8
+  slice copies (1 byte each) multiplied on the INT8 tensor engines
+  with exact INT32 accumulation;
+* ``EMULATED_FP64``           -> FP32-term splitting (three terms of
+  an FP64 operand, one of an FP32 operand) with six (resp. one) FP32
+  pair products accumulated at FP64.
 
 Each stage gets a flops/bytes estimate; the roofline (sustained
 throughput under the power derate, achievable HBM bandwidth, tile
@@ -45,7 +51,12 @@ ROUTINE_INFO: Dict[str, tuple] = {
 }
 
 #: bytes per element of each reduced component format in memory.
-_COMPONENT_BYTES = {Precision.BF16: 2, Precision.TF32: 4}
+_COMPONENT_BYTES = {
+    Precision.BF16: 2,
+    Precision.TF32: 4,
+    Precision.INT8: 1,
+    Precision.FP32: 4,
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -88,6 +99,8 @@ class GemmModel:
         is_complex, _, storage = ROUTINE_INFO[routine]
         if mode.is_low_precision and storage is not Precision.FP32:
             return ComputeMode.STANDARD      # FLOAT_TO_* is single-only
+        if mode.uses_int8 and storage is not Precision.FP32:
+            return ComputeMode.STANDARD      # Ozaki INT8 is single-only too
         if mode.uses_3m and not is_complex:
             return ComputeMode.STANDARD      # 3M is complex-only
         return mode
@@ -105,7 +118,17 @@ class GemmModel:
         complex_factor = 1
         if is_complex:
             complex_factor = 3 if mode.uses_3m else 4
-        if mode.is_low_precision:
+        is_split = mode.is_low_precision or mode.uses_int8 or mode.uses_fp64_emulation
+        if mode.uses_fp64_emulation:
+            # FP64 storage: three FP32 terms, six pair products; single
+            # storage needs one FP64-accumulated FP32 product.
+            n_terms = 3 if storage is Precision.FP64 else 1
+            n_products = complex_factor * (n_terms * (n_terms + 1) // 2)
+            mult_precision = Precision.FP32
+            comp_bytes = _COMPONENT_BYTES[mult_precision]
+        elif is_split:
+            # FLOAT_TO_* mantissa splits and the Ozaki INT8 slice split
+            # share the structure: n(n+1)/2 reduced-format products.
             n_products = complex_factor * mode.n_component_products
             mult_precision = mode.component_precision
             comp_bytes = _COMPONENT_BYTES[mult_precision]
@@ -130,7 +153,7 @@ class GemmModel:
         traffic = 0.0
         n_kernels = n_products
         operand_elems = a_elems + b_elems
-        if mode.is_low_precision:
+        if is_split:
             # Conversion pass: read FP32 operands once, write n_terms
             # component copies of each.
             traffic += operand_elems * elem

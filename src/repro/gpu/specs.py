@@ -12,6 +12,12 @@ IV-A) or derived from them:
 * power limits that keep *sustained* matrix-engine throughput well
   below peak (Section V-C attributes the 3.91x-vs-16x gap to memory
   and power limits).
+
+The INT8 tensor-core entry (839 TOP/s, 0.35 power derate) backs the
+roofline costing of the post-paper ``OZAKI_INT8`` compute mode; the
+FP32/FP64 vector-engine entries likewise anchor ``EMULATED_FP64``'s
+FP32-term products and its native-FP64 baseline
+(:mod:`repro.gpu.gemm_model`).
 """
 
 from __future__ import annotations

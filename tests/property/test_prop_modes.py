@@ -33,7 +33,10 @@ class TestParseProperties:
     def test_component_structure_consistent(self, mode):
         n = mode.n_terms
         assert mode.n_component_products == n * (n + 1) // 2
-        if mode.is_low_precision:
+        # Every splitting mode — sub-FP32 rounding, Ozaki INT8 slices,
+        # FP32-term FP64 emulation — declares its component format.
+        splits = mode.is_low_precision or mode.uses_int8 or mode.uses_fp64_emulation
+        if splits:
             assert mode.component_precision is not None
         else:
             assert mode.component_precision is None

@@ -7,12 +7,15 @@ import pytest
 from repro.blas.modes import (
     ComputeMode,
     MKL_COMPUTE_MODE_ENV,
+    OZAKI_SLICES_ENV,
     UnknownComputeModeError,
     compute_mode,
     get_compute_mode,
+    get_ozaki_slices,
     mode_from_env,
     resolve_mode,
     set_compute_mode,
+    set_ozaki_slices,
 )
 from repro.types import Precision
 
@@ -82,6 +85,88 @@ class TestParse:
     def test_parse_unknown_raises_with_valid_list(self):
         with pytest.raises(UnknownComputeModeError, match="FLOAT_TO_BF16"):
             ComputeMode.parse("FLOAT_TO_FP8")
+
+
+class TestNewModeParsing:
+    """Aliases and normalization for the post-paper split modes."""
+
+    def test_parse_canonical_new_modes(self):
+        assert ComputeMode.parse("OZAKI_INT8") is ComputeMode.OZAKI_INT8
+        assert ComputeMode.parse("EMULATED_FP64") is ComputeMode.EMULATED_FP64
+
+    def test_parse_case_insensitive(self):
+        assert ComputeMode.parse("ozaki_int8") is ComputeMode.OZAKI_INT8
+        assert ComputeMode.parse("Emulated_Fp64") is ComputeMode.EMULATED_FP64
+
+    def test_parse_aliases(self):
+        assert ComputeMode.parse("ozaki") is ComputeMode.OZAKI_INT8
+        assert ComputeMode.parse("int8") is ComputeMode.OZAKI_INT8
+        assert ComputeMode.parse("emu_fp64") is ComputeMode.EMULATED_FP64
+        assert ComputeMode.parse("efp64") is ComputeMode.EMULATED_FP64
+
+    def test_parse_separator_normalization(self):
+        # Hyphens and spaces normalize to underscores before lookup.
+        assert ComputeMode.parse("ozaki-int8") is ComputeMode.OZAKI_INT8
+        assert ComputeMode.parse("emulated fp64") is ComputeMode.EMULATED_FP64
+        assert ComputeMode.parse("float-to-bf16") is ComputeMode.FLOAT_TO_BF16
+
+    def test_unknown_mode_error_lists_all_modes(self):
+        with pytest.raises(UnknownComputeModeError) as exc:
+            ComputeMode.parse("FLOAT_TO_FP8")
+        message = str(exc.value)
+        for mode in ComputeMode:
+            assert mode.env_value in message
+
+    def test_new_mode_properties(self):
+        assert ComputeMode.OZAKI_INT8.uses_int8
+        assert not ComputeMode.OZAKI_INT8.uses_fp64_emulation
+        assert ComputeMode.EMULATED_FP64.uses_fp64_emulation
+        assert not ComputeMode.EMULATED_FP64.uses_int8
+        assert ComputeMode.OZAKI_INT8.component_precision is Precision.INT8
+        assert ComputeMode.EMULATED_FP64.component_precision is Precision.FP32
+        # Neither joins the FLOAT_TO_* family.
+        assert not ComputeMode.OZAKI_INT8.is_low_precision
+        assert not ComputeMode.EMULATED_FP64.is_low_precision
+
+
+class TestOzakiSliceConfig:
+    @pytest.fixture(autouse=True)
+    def _reset_slices(self, monkeypatch):
+        monkeypatch.delenv(OZAKI_SLICES_ENV, raising=False)
+        set_ozaki_slices(None)
+        yield
+        set_ozaki_slices(None)
+
+    def test_default_is_three(self):
+        assert get_ozaki_slices() == 3
+        assert ComputeMode.OZAKI_INT8.n_terms == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(OZAKI_SLICES_ENV, "4")
+        assert get_ozaki_slices() == 4
+        assert ComputeMode.OZAKI_INT8.n_terms == 4
+        assert ComputeMode.OZAKI_INT8.n_component_products == 4 * 5 // 2
+
+    def test_setter_beats_env(self, monkeypatch):
+        monkeypatch.setenv(OZAKI_SLICES_ENV, "4")
+        set_ozaki_slices(2)
+        assert get_ozaki_slices() == 2
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(OZAKI_SLICES_ENV, "zero")
+        with pytest.raises(ValueError, match=OZAKI_SLICES_ENV):
+            get_ozaki_slices()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            set_ozaki_slices(0)
+        with pytest.raises(ValueError):
+            set_ozaki_slices(9)
+
+    def test_other_modes_unaffected(self):
+        set_ozaki_slices(5)
+        assert ComputeMode.FLOAT_TO_BF16X3.n_terms == 3
+        assert ComputeMode.EMULATED_FP64.n_terms == 3
 
 
 class TestSelectionPriority:

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.blas.rounding import (
+    OZAKI_SLICE_BITS,
+    emulated_fp64_split_terms,
     max_relative_error,
+    ozaki_max_relative_error,
+    ozaki_slice_terms,
     round_fp32_to_bf16,
     round_fp32_to_tf32,
     round_mantissa,
@@ -210,3 +214,80 @@ class TestErrorBound:
     def test_bound_values(self):
         assert max_relative_error(7) == 2**-8
         assert max_relative_error(10) == 2**-11
+
+
+class TestOzakiSliceTerms:
+    """The INT8 slice split behind ``OZAKI_INT8``."""
+
+    def _random(self, shape=(12, 9), seed=0):
+        rng = np.random.default_rng(seed)
+        scale = 10.0 ** rng.integers(-3, 4, size=shape).astype(np.float64)
+        return (rng.standard_normal(shape) * scale).astype(np.float32)
+
+    def test_slices_are_scaled_integers_in_int8_range(self):
+        x = self._random()
+        for i, term in enumerate(ozaki_slice_terms(x, 3, axis=-1)):
+            absmax = np.max(np.abs(x.astype(np.float64)), axis=-1, keepdims=True)
+            _, e = np.frexp(absmax)
+            q = np.ldexp(term, -(e - OZAKI_SLICE_BITS * (i + 1)))
+            assert np.array_equal(q, np.trunc(q))        # integer-valued
+            assert np.abs(q).max() <= 127                # INT8-representable
+
+    def test_reconstruction_within_truncation_bound(self):
+        x = self._random()
+        for n_slices in (1, 2, 3, 4):
+            recon = sum(ozaki_slice_terms(x, n_slices, axis=-1))
+            fibre_max = np.max(np.abs(x.astype(np.float64)), axis=-1, keepdims=True)
+            bound = np.ldexp(fibre_max, 1 - OZAKI_SLICE_BITS * n_slices)
+            assert (np.abs(x.astype(np.float64) - recon) <= bound).all()
+
+    def test_zero_fibres_survive(self):
+        x = np.zeros((4, 5), dtype=np.float32)
+        x[0, :] = 1.0
+        for term in ozaki_slice_terms(x, 3, axis=-1):
+            assert np.isfinite(term).all()
+        recon = sum(ozaki_slice_terms(x, 3, axis=-1))
+        np.testing.assert_array_equal(recon[1:], 0.0)
+
+    def test_axis_selects_the_contraction_fibre(self):
+        x = self._random((6, 8))
+        rows = ozaki_slice_terms(x, 2, axis=-1)
+        cols = ozaki_slice_terms(x, 2, axis=-2)
+        assert not np.array_equal(rows[0], cols[0])
+
+    def test_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            ozaki_slice_terms(np.ones(4, np.float32), 2, axis=-1)
+
+    def test_error_bound_values(self):
+        assert ozaki_max_relative_error(1) == 2**-6
+        assert ozaki_max_relative_error(3) == 2**-20
+
+
+class TestEmulatedFP64SplitTerms:
+    """The FP32-granularity split behind ``EMULATED_FP64``."""
+
+    def test_three_terms_reconstruct_fp64_exactly(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((64,)) * 10.0 ** rng.integers(-6, 7, size=64)
+        terms = emulated_fp64_split_terms(x, 3)
+        assert np.array_equal(sum(terms), x)
+
+    def test_terms_are_fp32_representable(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((32,))
+        for t in emulated_fp64_split_terms(x, 3):
+            assert np.array_equal(t, t.astype(np.float32).astype(np.float64))
+
+    def test_one_term_is_fp32_rounding(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((32,))
+        (t,) = emulated_fp64_split_terms(x, 1)
+        np.testing.assert_array_equal(t, x.astype(np.float32).astype(np.float64))
+
+    def test_term_magnitudes_decay(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((128,)) + 1.0
+        t1, t2, t3 = emulated_fp64_split_terms(x, 3)
+        assert np.abs(t2).max() < np.abs(t1).max() * 2**-20
+        assert np.abs(t3).max() < np.abs(t2).max() * 2**-10

@@ -1,0 +1,84 @@
+"""Tests for ``scripts/make_claim_coverage.py``.
+
+The script is the CI gate for claims traceability; these tests pin the
+test-reference validator, the markdown artifact, and the exit codes.
+"""
+
+import importlib.util
+from pathlib import Path
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "make_claim_coverage.py"
+_spec = importlib.util.spec_from_file_location("make_claim_coverage", _SCRIPT)
+coverage = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(coverage)
+
+
+class TestTestRefValidation:
+    def test_plain_path_resolves(self):
+        ok, why = coverage.check_test_ref("tests/unit/test_claim_coverage.py")
+        assert ok, why
+
+    def test_path_with_class_node(self):
+        ok, why = coverage.check_test_ref(
+            "tests/unit/test_claim_coverage.py::TestTestRefValidation"
+        )
+        assert ok, why
+
+    def test_missing_file_flagged(self):
+        ok, why = coverage.check_test_ref("tests/unit/test_does_not_exist.py")
+        assert not ok and "missing test file" in why
+
+    def test_missing_node_flagged(self):
+        ok, why = coverage.check_test_ref(
+            "tests/unit/test_claim_coverage.py::TestRenamedAway"
+        )
+        assert not ok and "TestRenamedAway" in why
+
+    def test_multi_ref_field_splits(self):
+        refs = coverage.split_test_refs(
+            "tests/unit/a.py::TestA / tests/integration/b.py"
+        )
+        assert refs == ["tests/unit/a.py::TestA", "tests/integration/b.py"]
+
+    def test_every_registered_claim_ref_resolves(self):
+        """The real matrix must never reference a renamed test."""
+        from repro.experiments.claims import CLAIMS
+
+        for claim in CLAIMS:
+            for ref in coverage.split_test_refs(claim.test):
+                ok, why = coverage.check_test_ref(ref)
+                assert ok, f"{claim.claim_id}: {why}"
+
+
+class TestRendering:
+    ROWS = [
+        ("some-claim", "§V", "repro.blas", "`tests/unit/x.py`", "PASS"),
+        ("bad-claim", "§V", "repro.gpu", "`tests/unit/y.py` **(missing)**", "FAIL"),
+    ]
+
+    def test_markdown_contains_rows_and_counts(self):
+        text = coverage.render_markdown(self.ROWS)
+        assert "| `some-claim` |" in text
+        assert "**FAIL**" in text
+        assert "1/2 checkers passing." in text
+
+
+class TestMain:
+    def test_writes_artifact_and_exits_zero(self, tmp_path):
+        out = tmp_path / "claim_coverage.md"
+        assert coverage.main(["--output", str(out)]) == 0
+        text = out.read_text()
+        assert "# Claim coverage" in text
+        # The new-mode rows ride along with the paper's.
+        assert "`ozaki-slice-bound`" in text
+        assert "`emulated-fp64-class`" in text
+        assert "`newmode-error-ordering`" in text
+
+    def test_violations_gate(self, tmp_path, monkeypatch):
+        out = tmp_path / "claim_coverage.md"
+        monkeypatch.setattr(
+            coverage, "build_matrix",
+            lambda: ([("c", "s", "m", "`t`", "FAIL")], ["c: live checker FAILED"]),
+        )
+        assert coverage.main(["--output", str(out)]) == 1
+        assert coverage.main(["--output", str(out), "--report-only"]) == 0

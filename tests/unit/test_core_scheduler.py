@@ -51,7 +51,15 @@ class TestLadder:
             ComputeMode.FLOAT_TO_BF16X2
         )
         assert sched.ladder[0] is ComputeMode.FLOAT_TO_BF16
-        assert sched.ladder[-1] is ComputeMode.STANDARD
+        # The Ozaki INT8 split (~2^-20 at three slices) lands between
+        # BF16X2 and FP32; emulated FP64 (~2^-52) is the top rung.
+        assert sched.ladder.index(ComputeMode.FLOAT_TO_BF16X2) < sched.ladder.index(
+            ComputeMode.OZAKI_INT8
+        )
+        assert sched.ladder.index(ComputeMode.OZAKI_INT8) < sched.ladder.index(
+            ComputeMode.STANDARD
+        )
+        assert sched.ladder[-1] is ComputeMode.EMULATED_FP64
 
     def test_duplicate_ladder_rejected(self):
         with pytest.raises(ValueError, match="duplicate"):
