@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast lint ci bench bench-split bench-telemetry bench-adaptive bench-backends bench-newmodes repro report claims claim-coverage examples clean
+.PHONY: install test test-fast lint ci bench bench-split bench-telemetry bench-adaptive bench-backends bench-newmodes bench-distrib distrib-smoke repro report claims claim-coverage examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -43,8 +43,21 @@ bench-adaptive:
 bench-backends:
 	$(PYTHON) -m pytest benchmarks/test_backend_compare.py -q -p no:cacheprovider
 
+# Gating: the measured slowdowns/errors must clear the committed
+# ceilings in benchmarks/newmodes_floors.json (25% slack on slowdowns
+# only; accuracy ceilings and ladder orderings get none).
 bench-newmodes:
 	$(PYTHON) -m pytest benchmarks/test_ozaki_emufp64_perf.py -q -p no:cacheprovider
+	$(PYTHON) scripts/check_bench_regression.py --newmodes --slack 0.25
+
+bench-distrib:
+	$(PYTHON) -m pytest benchmarks/test_distrib_bench.py -q -p no:cacheprovider
+
+# Same flow as the CI distrib-smoke job: submit a tiny 2-worker grid,
+# SIGKILL one worker mid-run, resume, and verify the merge recomputed
+# nothing.
+distrib-smoke:
+	$(PYTHON) scripts/distrib_smoke.py
 
 repro:
 	$(PYTHON) -m repro.experiments.runner all --output repro_output/

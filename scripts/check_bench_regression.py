@@ -14,6 +14,13 @@ is checked against ``benchmarks/adaptive_floors.json`` —
 scheduler must report zero ``unhandled_breaches`` (a correctness
 invariant of the closed loop: slack never applies).
 
+``--newmodes`` gates the Ozaki-INT8 / emulated-FP64 benchmark:
+``BENCH_newmodes.json`` (from ``benchmarks/test_ozaki_emufp64_perf.py``)
+is checked against ``benchmarks/newmodes_floors.json`` — per-case
+``slowdown_vs_standard`` *ceilings* (slack widens them) plus
+``max_abs_dev_vs_fp64`` accuracy ceilings and error-ladder orderings
+(no slack: accuracy is deterministic for the benchmark's fixed seed).
+
 Shared CI runners are noisy, so two escape hatches exist:
 
 * ``--slack``/``BENCH_SLACK`` — a relative tolerance on the speedup
@@ -44,6 +51,8 @@ DEFAULT_RESULTS = REPO_ROOT / "BENCH_splitgemm.json"
 DEFAULT_FLOORS = REPO_ROOT / "benchmarks" / "splitgemm_floors.json"
 ADAPTIVE_RESULTS = REPO_ROOT / "BENCH_adaptive.json"
 ADAPTIVE_FLOORS = REPO_ROOT / "benchmarks" / "adaptive_floors.json"
+NEWMODES_RESULTS = REPO_ROOT / "BENCH_newmodes.json"
+NEWMODES_FLOORS = REPO_ROOT / "benchmarks" / "newmodes_floors.json"
 
 
 def _env_flag(name: str) -> bool:
@@ -237,6 +246,115 @@ def check_adaptive(
     return 0
 
 
+def check_newmodes(
+    results_path: Path,
+    floors_path: Path,
+    slack: float = 0.0,
+    report_only: bool = False,
+) -> int:
+    """Gate the Ozaki/emulated-FP64 benchmark against stored ceilings.
+
+    Unlike the speedup-floor modes this one bounds from *above*:
+    ``slowdown_vs_standard`` may not exceed its ceiling (slack widens
+    the ceiling — noise makes emulation look slower, never faster than
+    it is) and ``max_abs_dev_vs_fp64`` may not exceed its
+    analytic-bound-derived ceiling (deterministic: no slack, ever).
+    ``error_orderings`` pins the ladder's shape — e.g. a third Ozaki
+    slice must strictly reduce the error of two.
+    """
+    results, problem = _load_json(
+        results_path,
+        "run `pytest benchmarks/test_ozaki_emufp64_perf.py` "
+        "(or `make bench-newmodes`) first",
+    )
+    if problem is not None:
+        return _fail_or_report(problem, report_only)
+    floors_doc, problem = _load_json(
+        floors_path, "the baseline ceilings file should be committed in benchmarks/"
+    )
+    if problem is not None:
+        return _fail_or_report(problem, report_only)
+    if not isinstance(floors_doc, dict) or "slowdown_ceilings" not in floors_doc:
+        return _fail_or_report(
+            f"{floors_path} is missing its 'slowdown_ceilings' key — regenerate it",
+            report_only,
+        )
+    try:
+        rows = {row["case"]: row for row in results["results"]}
+    except (KeyError, TypeError):
+        return _fail_or_report(
+            f"{results_path} is missing its 'results' key — regenerate it",
+            report_only,
+        )
+    if not 0.0 <= slack < 1.0:
+        print(f"error: --slack must be in [0, 1), got {slack}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for case, ceiling in floors_doc["slowdown_ceilings"].items():
+        row = rows.get(case)
+        if row is None:
+            failures.append(f"{case}: missing from {results_path.name}")
+            continue
+        effective = ceiling * (1.0 + slack)
+        value = row["slowdown_vs_standard"]
+        status = "ok" if value <= effective else "ABOVE CEILING"
+        if status != "ok":
+            failures.append(
+                f"{case}: slowdown {value:.2f}x above ceiling {ceiling:.2f}x "
+                f"(effective {effective:.2f}x with slack {slack:.0%})"
+            )
+        print(
+            f"{case:<24} slowdown {value:7.2f}x  (ceiling {ceiling:.2f}x, "
+            f"slack {slack:.0%})  [{status}]"
+        )
+    for case, ceiling in (floors_doc.get("error_ceilings") or {}).items():
+        row = rows.get(case)
+        if row is None:
+            failures.append(f"{case}: missing from {results_path.name}")
+            continue
+        value = row["max_abs_dev_vs_fp64"]
+        # Accuracy, not noise: slack never applies here.
+        status = "ok" if value <= ceiling else "ERROR ABOVE CEILING"
+        if status != "ok":
+            failures.append(
+                f"{case}: max |dev| {value:.3e} above ceiling {ceiling:.3e} "
+                "(no slack on accuracy)"
+            )
+        print(
+            f"{case:<24} max|dev| {value:9.3e}  (ceiling {ceiling:.3e})  [{status}]"
+        )
+    for pair in floors_doc.get("error_orderings") or []:
+        lo, hi = pair
+        row_lo, row_hi = rows.get(lo), rows.get(hi)
+        if row_lo is None or row_hi is None:
+            failures.append(f"ordering {lo} < {hi}: case(s) missing")
+            continue
+        a, b = row_lo["max_abs_dev_vs_fp64"], row_hi["max_abs_dev_vs_fp64"]
+        status = "ok" if a < b else "ORDERING VIOLATED"
+        if status != "ok":
+            failures.append(
+                f"ordering violated: error({lo})={a:.3e} not < error({hi})={b:.3e}"
+            )
+        print(f"error({lo}) < error({hi})  [{status}]")
+
+    if failures:
+        if report_only:
+            for f in failures:
+                _warn(f)
+            print(
+                "\nnew-modes regression check: "
+                f"{len(failures)} violation(s) reported (report-only mode, not failing)."
+            )
+            return 0
+        print("\nnew-modes regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nnew-modes regression check passed.")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         description="Check split-GEMM benchmark results against stored floors."
@@ -257,6 +375,12 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of the split-GEMM fast path",
     )
     parser.add_argument(
+        "--newmodes", action="store_true",
+        help="check the Ozaki/emulated-FP64 benchmark (BENCH_newmodes.json) "
+        "against its slowdown/error ceilings instead of the split-GEMM "
+        "fast path",
+    )
+    parser.add_argument(
         "--slack", type=float,
         default=float(os.environ.get("BENCH_SLACK", "0") or 0),
         metavar="FRACTION",
@@ -274,6 +398,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.adaptive and args.newmodes:
+        print("error: --adaptive and --newmodes are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.newmodes:
+        results = args.results or NEWMODES_RESULTS
+        floors = args.floors or NEWMODES_FLOORS
+        return check_newmodes(
+            results, floors, slack=args.slack, report_only=args.report_only
+        )
     if args.adaptive:
         results = args.results or ADAPTIVE_RESULTS
         floors = args.floors or ADAPTIVE_FLOORS

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Run (or resume) a distributed Fig. 3b sweep from the command line.
+
+The thin CLI over :mod:`repro.distrib`: explode the (mode x N_orb)
+grid into a work queue, drain it with N local worker processes, and
+print the merged sweep table — bitwise-identical to the serial
+``BlasSweep().sweep()`` output.
+
+Usage::
+
+    python scripts/run_distrib_sweep.py --workers 4
+    python scripts/run_distrib_sweep.py --workers 2 --queue /shared/q
+    # later / elsewhere: add capacity or finish an interrupted run
+    python -m repro.distrib.worker --queue /shared/q
+    python scripts/run_distrib_sweep.py --resume /shared/q
+
+``--queue`` persists the queue directory (checkpoint: a re-run with
+``--resume`` skips every completed cell); without it a temporary
+directory is used and the run is one-shot.  ``--telemetry DIR``
+exports the merged cross-worker trace, summary and ``run_report.md``
+(with the per-shard "Distributed shards" table) into DIR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.blas.modes import ComputeMode  # noqa: E402
+from repro.core.blas_sweep import FIG3B_NORBS, SWEEP_MODES  # noqa: E402
+from repro.distrib import SweepSpec, resume, submit  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Distributed Fig. 3b BLAS sweep (repro.distrib)."
+    )
+    parser.add_argument(
+        "--workers", "-w", type=int, default=2, metavar="N",
+        help="local worker processes to launch (default 2)",
+    )
+    parser.add_argument(
+        "--queue", default=None, metavar="DIR",
+        help="queue directory (created; persists for --resume / "
+        "multi-host workers).  Default: a temporary one-shot directory",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="finish an existing queue directory instead of submitting "
+        "a new sweep (completed cells are never recomputed)",
+    )
+    parser.add_argument(
+        "--norbs", type=int, nargs="+", default=list(FIG3B_NORBS), metavar="N",
+        help=f"orbital counts to sweep (default: {' '.join(map(str, FIG3B_NORBS))})",
+    )
+    parser.add_argument(
+        "--modes", nargs="+", default=None, metavar="MODE",
+        help="compute modes (MKL_BLAS_COMPUTE_MODE names; default: all "
+        f"{len(SWEEP_MODES)} sweep modes)",
+    )
+    parser.add_argument(
+        "--routine", default="cgemm",
+        help="BLAS routine the device model evaluates (default cgemm)",
+    )
+    parser.add_argument(
+        "--lease-seconds", type=float, default=30.0,
+        help="worker lease duration; a dead worker's cells are retaken "
+        "after this (default 30)",
+    )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="export the merged cross-worker telemetry bundle "
+        "(trace.jsonl, summary.txt, run_report.md) into DIR",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.resume is not None and args.queue is not None:
+        print("--resume and --queue are mutually exclusive", file=sys.stderr)
+        return 2
+
+    if args.telemetry is not None:
+        from repro.telemetry import telemetry as telemetry_scope
+
+        scope = telemetry_scope(out_dir=args.telemetry)
+    else:
+        import contextlib
+
+        scope = contextlib.nullcontext()
+
+    with scope:
+        t0 = time.perf_counter()
+        if args.resume is not None:
+            handle = resume(args.resume, n_workers=args.workers)
+        else:
+            modes = tuple(
+                ComputeMode.parse(m).env_value
+                for m in (args.modes or [m.env_value for m in SWEEP_MODES])
+            )
+            spec = SweepSpec(
+                kind="sweep",
+                modes=modes,
+                norbs=tuple(args.norbs),
+                params={"routine": args.routine},
+            )
+            handle = submit(
+                spec,
+                n_workers=args.workers,
+                queue_dir=args.queue,
+                lease_seconds=args.lease_seconds,
+            )
+        print(f"queue: {handle.queue_dir}")
+        merged = handle.result()
+        wall = time.perf_counter() - t0
+
+        points = merged.sweep_points()
+        print(f"{'N_orb':>6}  {'mode':<16}  {'fp32 s':>12}  {'mode s':>12}  "
+              f"{'speedup':>8}")
+        for p in points:
+            print(f"{p.n_orb:>6}  {p.mode.env_value:<16}  {p.fp32_seconds:>12.6g}  "
+                  f"{p.mode_seconds:>12.6g}  {p.speedup:>8.3f}")
+        print()
+        shards = ", ".join(
+            f"{w}:{int(m['cells'])}" for w, m in sorted(merged.stats.per_worker.items())
+        )
+        print(f"{len(points)} points from {len(merged.stats.per_worker)} shard(s) "
+              f"[{shards}] in {wall:.2f}s; "
+              f"{merged.stats.duplicates} duplicate(s) discarded, "
+              f"{merged.stats.steals} steal(s), "
+              f"{merged.stats.lease_takeovers} lease takeover(s).")
+    if args.telemetry is not None:
+        print(f"telemetry exported to {args.telemetry}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,15 @@ def build_parser() -> argparse.ArgumentParser:
         "each passes its compute mode explicitly, so the fan-out is safe)",
     )
     parser.add_argument(
+        "--distrib", type=int, default=0, metavar="N",
+        help="run the experiments through the repro.distrib work-queue "
+        "engine on N local worker processes (checkpointable, "
+        "work-stealing; see docs/DISTRIBUTED.md).  Unlike --jobs "
+        "threads, workers are separate processes that re-enter the "
+        "ambient backend/mode/telemetry environment; outputs are still "
+        "printed in deterministic serial order",
+    )
+    parser.add_argument(
         "--telemetry", default=None, metavar="DIR",
         help="collect telemetry for the run and export a JSONL event "
         "trace, a Chrome/Perfetto trace, a text summary and a "
@@ -138,7 +147,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_adaptive_enabled(True)
 
     with backend_scope, scope:
-        if args.jobs > 1 and len(names) > 1:
+        if args.distrib > 0:
+            # Work-queue fan-out over worker *processes*: the driver
+            # captures the ambient backend/mode/telemetry environment
+            # into the queue manifest and every worker re-enters it
+            # (the process analogue of the --jobs thread pool).  Cell
+            # results merge back here — including per-cell telemetry,
+            # so one run_report.md covers the whole pool — and are
+            # printed in the deterministic serial order.
+            from repro.distrib import SweepSpec, submit
+
+            spec = SweepSpec(
+                kind="experiment",
+                experiments=tuple(names),
+                params={"fast": not args.full, "output_dir": args.output},
+            )
+            merged = submit(spec, n_workers=args.distrib).result()
+            by_name = {
+                payload["experiment"]: payload["text"]
+                for payload in merged.cells.values()
+            }
+            for name in names:
+                print(by_name[name])
+                print()
+        elif args.jobs > 1 and len(names) > 1:
             # Independent artifacts fan out over a thread pool (NumPy
             # releases the GIL in the GEMMs); outputs are printed in the
             # deterministic serial order regardless of completion order.

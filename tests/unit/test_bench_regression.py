@@ -174,3 +174,107 @@ class TestAgainstRepoFloors:
         for mode, floor in floors.items():
             assert isinstance(mode, str)
             assert floor > 0
+
+    def test_repo_newmodes_ceilings_file_is_well_formed(self):
+        doc = json.loads(
+            (Path(_SCRIPT).parents[1] / "benchmarks" / "newmodes_floors.json").read_text()
+        )
+        assert doc["slowdown_ceilings"] and doc["error_ceilings"]
+        for case, ceiling in doc["slowdown_ceilings"].items():
+            assert isinstance(case, str) and ceiling > 1.0
+        for case, ceiling in doc["error_ceilings"].items():
+            assert case in doc["slowdown_ceilings"]
+            assert ceiling > 0
+        for lo, hi in doc["error_orderings"]:
+            assert lo != hi
+
+
+def _write_newmodes(tmp_path, slowdown=10.0, error=1e-3, case="sgemm/OZAKI_INT8(s=2)",
+                    slowdown_ceiling=25.0, error_ceiling=1e-2, orderings=()):
+    results = tmp_path / "results.json"
+    floors = tmp_path / "floors.json"
+    rows = [{"case": case, "slowdown_vs_standard": slowdown,
+             "max_abs_dev_vs_fp64": error}]
+    # Give ordering tests a second, strictly-worse case to compare to.
+    rows.append({"case": "other", "slowdown_vs_standard": 1.0,
+                 "max_abs_dev_vs_fp64": 1.0})
+    results.write_text(json.dumps({"results": rows}))
+    floors.write_text(json.dumps({
+        "slowdown_ceilings": {case: slowdown_ceiling},
+        "error_ceilings": {case: error_ceiling},
+        "error_orderings": list(orderings),
+    }))
+    return results, floors
+
+
+class TestCheckNewmodes:
+    """The --newmodes gate: ceilings (not floors) + ladder orderings."""
+
+    def test_passes_under_ceilings(self, tmp_path, capsys):
+        results, floors = _write_newmodes(tmp_path)
+        assert bench.check_newmodes(results, floors) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_fails_above_slowdown_ceiling(self, tmp_path, capsys):
+        results, floors = _write_newmodes(tmp_path, slowdown=30.0)
+        assert bench.check_newmodes(results, floors) == 1
+        assert "ABOVE CEILING" in capsys.readouterr().out
+
+    def test_slack_widens_slowdown_ceiling_only(self, tmp_path):
+        results, floors = _write_newmodes(tmp_path, slowdown=30.0)
+        assert bench.check_newmodes(results, floors, slack=0.25) == 0
+        # Accuracy gets no slack: same 25% cannot excuse an error breach.
+        results, floors = _write_newmodes(tmp_path, error=1.1e-2)
+        assert bench.check_newmodes(results, floors, slack=0.25) == 1
+
+    def test_fails_above_error_ceiling(self, tmp_path, capsys):
+        results, floors = _write_newmodes(tmp_path, error=0.5)
+        assert bench.check_newmodes(results, floors) == 1
+        assert "ERROR ABOVE CEILING" in capsys.readouterr().out
+
+    def test_ordering_violation_fails(self, tmp_path, capsys):
+        results, floors = _write_newmodes(
+            tmp_path, error=2.0, error_ceiling=5.0,
+            orderings=[["sgemm/OZAKI_INT8(s=2)", "other"]],
+        )
+        assert bench.check_newmodes(results, floors) == 1
+        assert "ORDERING VIOLATED" in capsys.readouterr().out
+
+    def test_ordering_satisfied_passes(self, tmp_path):
+        results, floors = _write_newmodes(
+            tmp_path, orderings=[["sgemm/OZAKI_INT8(s=2)", "other"]]
+        )
+        assert bench.check_newmodes(results, floors) == 0
+
+    def test_missing_case_fails(self, tmp_path):
+        results, floors = _write_newmodes(tmp_path)
+        floors.write_text(json.dumps({
+            "slowdown_ceilings": {"not/present": 2.0},
+        }))
+        assert bench.check_newmodes(results, floors) == 1
+
+    def test_report_only_never_fails(self, tmp_path, capsys):
+        results, floors = _write_newmodes(tmp_path, slowdown=99.0, error=9.9)
+        assert bench.check_newmodes(results, floors, report_only=True) == 0
+        assert "report-only" in capsys.readouterr().out
+
+    def test_missing_results_file_is_one_clear_line(self, tmp_path, capsys):
+        _, floors = _write_newmodes(tmp_path)
+        assert bench.check_newmodes(tmp_path / "nope.json", floors) == 1
+        err = capsys.readouterr().err
+        assert "not found" in err and "Traceback" not in err
+
+    def test_cli_newmodes_flag(self, tmp_path):
+        results, floors = _write_newmodes(tmp_path)
+        assert bench.main([str(results), str(floors), "--newmodes"]) == 0
+        assert bench.main(["--newmodes", "--adaptive"]) == 2
+
+    def test_repo_gate_passes_against_committed_results(self):
+        """The committed BENCH_newmodes.json must clear the committed
+        ceilings at the CI slack — the promotion-to-gating contract."""
+        repo = Path(_SCRIPT).parents[1]
+        assert bench.check_newmodes(
+            repo / "BENCH_newmodes.json",
+            repo / "benchmarks" / "newmodes_floors.json",
+            slack=0.25,
+        ) == 0

@@ -1,0 +1,123 @@
+"""Unit tests for repro.distrib.cells: specs, explosion, cell bodies."""
+
+import json
+
+import pytest
+
+from repro.blas.modes import ComputeMode
+from repro.core.blas_sweep import FIG3B_NORBS, SWEEP_MODES, remap_gemm_shape
+from repro.distrib import Cell, SweepSpec, run_cell
+from repro.distrib.cells import CELL_KINDS
+from repro.gpu.gemm_model import GemmModel
+
+
+class TestCell:
+    def test_key_is_stable_and_unique_per_axes(self):
+        a = Cell(kind="sweep", mode="FLOAT_TO_BF16", n_orb=1024, seed=0)
+        b = Cell(kind="sweep", mode="FLOAT_TO_BF16", n_orb=1024, seed=0)
+        c = Cell(kind="sweep", mode="FLOAT_TO_BF16", n_orb=2048, seed=0)
+        assert a.key == b.key
+        assert a.key != c.key
+        assert a.key == "sweep:FLOAT_TO_BF16:1024:0:-"
+
+    def test_json_round_trip(self):
+        cell = Cell(kind="study", mode="FLOAT_TO_TF32", seed=3)
+        again = Cell.from_json(json.loads(json.dumps(cell.to_json())))
+        assert again == cell
+        assert again.key == cell.key
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown cell kind"):
+            Cell(kind="nope")
+
+
+class TestSweepSpec:
+    def test_sweep_explosion_matches_serial_order(self):
+        """Manifest order must be the serial sweep's n_orb-major order."""
+        modes = tuple(m.env_value for m in SWEEP_MODES)
+        spec = SweepSpec(kind="sweep", modes=modes, norbs=FIG3B_NORBS)
+        cells = spec.cells()
+        assert len(cells) == len(modes) * len(FIG3B_NORBS)
+        expected = [
+            (n, m) for n in FIG3B_NORBS for m in modes
+        ]
+        assert [(c.n_orb, c.mode) for c in cells] == expected
+
+    def test_study_explosion_is_seed_major(self):
+        spec = SweepSpec(kind="study", modes=("A", "B"), seeds=(0, 1))
+        assert [(c.seed, c.mode) for c in spec.cells()] == [
+            (0, "A"), (0, "B"), (1, "A"), (1, "B"),
+        ]
+
+    def test_experiment_and_synthetic_explosions(self):
+        exp = SweepSpec(kind="experiment", experiments=("table6", "figure1"))
+        assert [c.experiment for c in exp.cells()] == ["table6", "figure1"]
+        syn = SweepSpec(kind="synthetic", n_cells=3)
+        assert [c.seed for c in syn.cells()] == [0, 1, 2]
+
+    def test_keys_unique_across_grid(self):
+        spec = SweepSpec(
+            kind="sweep", modes=("A", "B"), norbs=(256, 1024), seeds=(0, 1)
+        )
+        keys = [c.key for c in spec.cells()]
+        assert len(set(keys)) == len(keys) == 8
+
+    def test_json_round_trip(self):
+        spec = SweepSpec(
+            kind="sweep",
+            modes=("FLOAT_TO_BF16",),
+            norbs=(256,),
+            params={"routine": "sgemm"},
+        )
+        again = SweepSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert again.cells() == spec.cells()
+        assert again.params == spec.params
+
+    def test_empty_grids_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(kind="sweep").cells()
+        with pytest.raises(ValueError):
+            SweepSpec(kind="experiment").cells()
+        with pytest.raises(ValueError):
+            SweepSpec(kind="synthetic", n_cells=0).cells()
+
+    def test_all_kinds_valid(self):
+        for kind in CELL_KINDS:
+            assert SweepSpec(kind=kind).kind == kind
+
+
+class TestCellBodies:
+    def test_sweep_cell_matches_device_model(self):
+        """The cell body is the serial sweep's evaluation, bit for bit."""
+        cell = Cell(kind="sweep", mode="FLOAT_TO_BF16", n_orb=1024, seed=0)
+        payload = run_cell(cell, {"routine": "cgemm"})
+        m, n, k = remap_gemm_shape(1024)
+        model = GemmModel()
+        assert payload["m"] == m and payload["n"] == n and payload["k"] == k
+        assert payload["fp32_seconds"] == model.seconds(
+            "cgemm", m, n, k, ComputeMode.STANDARD
+        )
+        assert payload["mode_seconds"] == model.seconds(
+            "cgemm", m, n, k, ComputeMode.FLOAT_TO_BF16
+        )
+        # The payload must round-trip through the queue's JSON exactly.
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_synthetic_cell_reports_pid_and_sleep(self):
+        import os
+
+        payload = run_cell(Cell(kind="synthetic", seed=5), {"cell_seconds": 0.0})
+        assert payload["index"] == 5
+        assert payload["pid"] == os.getpid()
+
+    def test_probe_cell_reports_ambient_state(self):
+        from repro.blas.modes import set_ozaki_slices
+
+        set_ozaki_slices(2)
+        try:
+            payload = run_cell(Cell(kind="probe", seed=0), {})
+        finally:
+            set_ozaki_slices(None)
+        assert payload["backend"] == "numpy"
+        assert payload["ozaki_slices"] == 2
+        assert payload["telemetry"] is False
